@@ -1,0 +1,175 @@
+// Package repro's benchmark harness: one benchmark per table and figure
+// of the paper (each iteration regenerates the exhibit end to end —
+// workload generation, model fitting, synthesis, simulation), plus
+// micro-benchmarks for the pipeline stages.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or one exhibit with e.g. -bench=BenchmarkFig09.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/experiments"
+	"repro/internal/hrd"
+	"repro/internal/partition"
+	"repro/internal/stm"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// benchExperiment runs one experiment per iteration on a fresh
+// environment, so every iteration does the full work of regenerating the
+// exhibit.
+func benchExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := experiments.NewEnv()
+		if tab := env.Run(id); tab == nil || len(tab.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig02(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig03(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig06(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig07(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig08(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig09(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+
+func BenchmarkAblationSpatial(b *testing.B) { benchExperiment(b, "ablation-spatial") }
+func BenchmarkAblationOrder(b *testing.B)   { benchExperiment(b, "ablation-order") }
+func BenchmarkAblationPrivacy(b *testing.B) { benchExperiment(b, "ablation-privacy") }
+func BenchmarkChargeCache(b *testing.B)     { benchExperiment(b, "chargecache") }
+func BenchmarkCharacterize(b *testing.B)    { benchExperiment(b, "characterization") }
+func BenchmarkAblationKOrder(b *testing.B)  { benchExperiment(b, "ablation-korder") }
+func BenchmarkEnergy(b *testing.B)          { benchExperiment(b, "energy") }
+func BenchmarkAblationPolicy(b *testing.B)  { benchExperiment(b, "ablation-policy") }
+func BenchmarkSoC(b *testing.B)             { benchExperiment(b, "soc") }
+
+// Micro-benchmarks for the pipeline stages, all on the HEVC1 proxy.
+
+func hevc1(b *testing.B) trace.Trace {
+	b.Helper()
+	s, err := workloads.Find("HEVC1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s.Gen()
+}
+
+func BenchmarkWorkloadGen(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(hevc1(b)) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkProfileBuild(b *testing.B) {
+	tr := hevc1(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build("HEVC1", tr, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(tr)))
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	tr := hevc1(b)
+	p, err := core.Build("HEVC1", tr, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := core.SynthesizeTrace(p, uint64(i)); len(got) != len(tr) {
+			b.Fatal("short synthesis")
+		}
+	}
+}
+
+func BenchmarkDRAMSim(b *testing.B) {
+	tr := hevc1(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := dram.Run(trace.NewReplayer(tr), dram.Default(), 20)
+		if res.Requests == 0 {
+			b.Fatal("no requests simulated")
+		}
+	}
+}
+
+func BenchmarkDynamicPartition(b *testing.B) {
+	tr := hevc1(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if leaves := partition.ByDynamic(tr); len(leaves) == 0 {
+			b.Fatal("no leaves")
+		}
+	}
+}
+
+func BenchmarkSTMBuild(b *testing.B) {
+	tr := hevc1(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stm.Build("HEVC1", tr, partition.TwoLevelTS(500000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHRDFit(b *testing.B) {
+	tr, err := workloads.SPECTrace("gobmk")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := hrd.Fit(tr); m.Requests != len(tr) {
+			b.Fatal("bad fit")
+		}
+	}
+}
+
+func BenchmarkHRDSynthesize(b *testing.B) {
+	tr, err := workloads.SPECTrace("gobmk")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := hrd.Fit(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := hrd.Synthesize(m, uint64(i)); len(got) != len(tr) {
+			b.Fatal("short synthesis")
+		}
+	}
+}

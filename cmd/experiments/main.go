@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-out FILE] [id ...]
+//
+// With no ids, every experiment runs in paper order. Valid ids are
+// fig2 fig3 table1 table2 table3 fig6 ... fig17 (see -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "", "also write results to this file")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), " "))
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	env := experiments.NewEnv()
+	for _, id := range ids {
+		start := time.Now()
+		tab := env.Run(id)
+		if tab == nil {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		tab.Fprint(w)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/dram"
+	"repro/internal/trace"
+	"repro/internal/validate"
+)
+
+func cmdAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "", "input trace (gzip binary format)")
+	top := fs.Int("top", 8, "number of top strides to print")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("analyze: need -in"))
+	}
+	t := readTrace(*in)
+	fmt.Println(analysis.Characterize(t))
+	if *top > 0 {
+		fmt.Println("top strides:")
+		for _, sc := range analysis.TopStrides(t, *top) {
+			fmt.Printf("  %12d  x%d\n", sc.Stride, sc.Count)
+		}
+	}
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	ref := fs.String("ref", "", "reference trace (e.g. the original)")
+	in := fs.String("in", "", "candidate trace (e.g. a synthetic recreation)")
+	xbarLat := fs.Uint64("xbar", 20, "interconnect latency in cycles")
+	fs.Parse(args)
+	if *ref == "" || *in == "" {
+		fatal(fmt.Errorf("compare: need -ref and -in"))
+	}
+	cfg := dram.Default()
+	a := dram.Run(trace.NewReplayer(readTrace(*ref)), cfg, *xbarLat)
+	b := dram.Run(trace.NewReplayer(readTrace(*in)), cfg, *xbarLat)
+	validate.Compare(a, b).Fprint(os.Stdout)
+}

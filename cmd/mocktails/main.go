@@ -1,0 +1,207 @@
+// Command mocktails is the end-to-end tool mirroring Fig. 1 of the
+// paper: it builds statistical profiles from traces (the industry side)
+// and synthesises traces from profiles (the academia side), and can
+// simulate either against the repository's DRAM model.
+//
+// Usage:
+//
+//	mocktails profile -in workload.trace.gz -out workload.profile.gz [-interval 500000] [-spatial dynamic|4096]
+//	mocktails synth   -in workload.profile.gz -out synthetic.trace.gz [-seed 42]
+//	mocktails stats   -in workload.trace.gz
+//	mocktails simulate -in workload.trace.gz
+//	mocktails analyze -in workload.trace.gz [-top 8]
+//	mocktails compare -ref original.trace.gz -in synthetic.trace.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/partition"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "profile":
+		cmdProfile(os.Args[2:])
+	case "synth":
+		cmdSynth(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "simulate":
+		cmdSimulate(os.Args[2:])
+	case "analyze":
+		cmdAnalyze(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|stats|simulate|analyze|compare|inspect} [flags]")
+	os.Exit(2)
+}
+
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "input profile")
+	leaves := fs.Int("leaves", 10, "number of largest leaves to show")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("inspect: need -in"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	p, err := profile.ReadGzip(f)
+	if err != nil {
+		fatal(err)
+	}
+	profile.Dump(os.Stdout, p, *leaves)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mocktails:", err)
+	os.Exit(1)
+}
+
+func readTrace(path string) trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	t, err := trace.ReadGzip(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return t
+}
+
+func cmdProfile(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	in := fs.String("in", "", "input trace (gzip binary format)")
+	out := fs.String("out", "", "output profile")
+	interval := fs.Uint64("interval", 500000, "temporal partition length")
+	mode := fs.String("temporal", "cycles", "temporal scheme: cycles or requests")
+	spatial := fs.String("spatial", "dynamic", "spatial scheme: dynamic or a block size in bytes")
+	name := fs.String("name", "workload", "workload name stored in the profile")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("profile: need -in and -out"))
+	}
+
+	var layers []partition.Layer
+	switch *mode {
+	case "cycles":
+		layers = append(layers, partition.Layer{Kind: partition.TemporalCycleCount, Param: *interval})
+	case "requests":
+		layers = append(layers, partition.Layer{Kind: partition.TemporalRequestCount, Param: *interval})
+	default:
+		fatal(fmt.Errorf("unknown temporal scheme %q", *mode))
+	}
+	if *spatial == "dynamic" {
+		layers = append(layers, partition.Layer{Kind: partition.SpatialDynamic})
+	} else {
+		bs, err := strconv.ParseUint(*spatial, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -spatial %q: %w", *spatial, err))
+		}
+		layers = append(layers, partition.Layer{Kind: partition.SpatialFixed, Param: bs})
+	}
+
+	t := readTrace(*in)
+	p, err := core.Build(*name, t, partition.Config{Layers: layers})
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := profile.WriteGzip(f, p); err != nil {
+		fatal(err)
+	}
+	fmt.Println(p)
+}
+
+func cmdSynth(args []string) {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	in := fs.String("in", "", "input profile")
+	out := fs.String("out", "", "output trace (gzip binary format)")
+	seed := fs.Uint64("seed", 42, "synthesis seed")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("synth: need -in and -out"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := profile.ReadGzip(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	t := core.SynthesizeTrace(p, *seed)
+	o, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer o.Close()
+	if err := trace.WriteGzip(o, t); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("synthesised %d requests from %s\n", len(t), p.Name)
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "input trace")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("stats: need -in"))
+	}
+	t := readTrace(*in)
+	reads, writes := t.Counts()
+	lo, hi := t.AddrRange()
+	fmt.Printf("requests:  %d (%d reads, %d writes)\n", len(t), reads, writes)
+	fmt.Printf("duration:  %d cycles\n", t.Duration())
+	fmt.Printf("bytes:     %d\n", t.Bytes())
+	fmt.Printf("addresses: [0x%x, 0x%x)\n", lo, hi)
+	fmt.Printf("footprint: %d x 4KB blocks, %d x 64B blocks\n",
+		t.Footprint(4096), t.Footprint(64))
+}
+
+func cmdSimulate(args []string) {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	in := fs.String("in", "", "input trace")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("simulate: need -in"))
+	}
+	t := readTrace(*in)
+	res := dram.Run(trace.NewReplayer(t), dram.Default(), 20)
+	fmt.Printf("requests:        %d\n", res.Requests)
+	fmt.Printf("read bursts:     %d (row hits %d)\n", res.ReadBursts(), res.ReadRowHits())
+	fmt.Printf("write bursts:    %d (row hits %d)\n", res.WriteBursts(), res.WriteRowHits())
+	fmt.Printf("avg read queue:  %.2f\n", res.AvgReadQueueLen())
+	fmt.Printf("avg write queue: %.2f\n", res.AvgWriteQueueLen())
+	fmt.Printf("avg latency:     %.1f cycles\n", res.AvgLatency)
+}

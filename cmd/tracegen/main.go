@@ -1,0 +1,121 @@
+// Command tracegen generates the repository's synthetic workload traces
+// (the Table II device proxies and the §V SPEC CPU2006 proxies) and
+// writes them to disk.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -name HEVC1 -o hevc1.trace.gz [-format gz|bin|csv]
+//	tracegen -spec gobmk -o gobmk.trace.gz
+//	tracegen -spec-file myworkload.json -o myworkload.trace.gz
+//
+// A spec file is a JSON workload description (package synthgen): phases
+// of concurrent streams with strides, random regions, bursts and idle
+// gaps. See examples/workload_dsl/video_pipeline.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/synthgen"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available traces and exit")
+	name := flag.String("name", "", "Table II proxy trace to generate")
+	spec := flag.String("spec", "", "SPEC CPU2006 proxy trace to generate")
+	specFile := flag.String("spec-file", "", "JSON workload description to generate")
+	out := flag.String("o", "", "output file (default NAME.trace.<ext>)")
+	format := flag.String("format", "gz", "output format: gz, bin or csv")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("device proxies (Table II):")
+		for _, s := range workloads.Catalog() {
+			fmt.Printf("  %-12s %-4s %s\n", s.Name, s.Device, s.Desc)
+		}
+		fmt.Println("SPEC CPU2006 proxies (Section V):")
+		for _, n := range workloads.SPECNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	var t trace.Trace
+	var label string
+	switch {
+	case *name != "":
+		s, err := workloads.Find(*name)
+		if err != nil {
+			fatal(err)
+		}
+		t, label = s.Gen(), s.Name
+	case *spec != "":
+		var err error
+		t, err = workloads.SPECTrace(*spec)
+		if err != nil {
+			fatal(err)
+		}
+		label = *spec
+	case *specFile != "":
+		f, err := os.Open(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := synthgen.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		t, err = s.Generate()
+		if err != nil {
+			fatal(err)
+		}
+		label = s.Name
+		if label == "" {
+			label = "workload"
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: need -name, -spec, -spec-file or -list")
+		os.Exit(2)
+	}
+
+	path := *out
+	if path == "" {
+		ext := map[string]string{"gz": "trace.gz", "bin": "trace", "csv": "csv"}[*format]
+		if ext == "" {
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+		path = label + "." + ext
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	switch *format {
+	case "gz":
+		err = trace.WriteGzip(f, t)
+	case "bin":
+		err = trace.WriteBinary(f, t)
+	case "csv":
+		err = trace.WriteCSV(f, t)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	reads, writes := t.Counts()
+	fmt.Printf("wrote %s: %d requests (%d reads, %d writes), %d cycles\n",
+		path, len(t), reads, writes, t.Duration())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// SoC mix: the headline use case of the paper — substituting proprietary
+// IP blocks in a larger system simulation. A GPU, a VPU and a DPU are
+// each represented only by their Mocktails profiles; the example merges
+// their synthetic request streams into one shared memory system and
+// reports how the devices interact at the memory controller, compared
+// with running the three original traces together.
+//
+// Run with: go run ./examples/soc_mix
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	names := []string{"T-Rex1", "HEVC1", "FBC-Linear1"}
+
+	var real []trace.Source
+	var mock []trace.Source
+	for i, name := range names {
+		spec, err := workloads.Find(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := spec.Gen()
+		real = append(real, trace.NewReplayer(t))
+
+		// In practice the profile arrives from the IP vendor; here we
+		// build it ourselves and then forget the trace.
+		p, err := core.Build(name, t, core.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		mock = append(mock, core.Synthesize(p, uint64(100+i)))
+	}
+
+	cfg := dram.Default()
+	baseline := dram.Run(trace.Merge(real...), cfg, 20)
+	synthetic := dram.Run(trace.Merge(mock...), cfg, 20)
+
+	fmt.Println("shared-memory SoC simulation: GPU + VPU + DPU")
+	fmt.Printf("  %-22s %12s %12s\n", "metric", "real traces", "mocktails")
+	row := func(name string, b, s float64) {
+		fmt.Printf("  %-22s %12.1f %12.1f\n", name, b, s)
+	}
+	row("requests", float64(baseline.Requests), float64(synthetic.Requests))
+	row("read bursts", float64(baseline.ReadBursts()), float64(synthetic.ReadBursts()))
+	row("write bursts", float64(baseline.WriteBursts()), float64(synthetic.WriteBursts()))
+	row("read row hits", float64(baseline.ReadRowHits()), float64(synthetic.ReadRowHits()))
+	row("write row hits", float64(baseline.WriteRowHits()), float64(synthetic.WriteRowHits()))
+	row("avg read queue", baseline.AvgReadQueueLen(), synthetic.AvgReadQueueLen())
+	row("avg write queue", baseline.AvgWriteQueueLen(), synthetic.AvgWriteQueueLen())
+	row("avg latency (cycles)", baseline.AvgLatency, synthetic.AvgLatency)
+	fmt.Println("\nEvery device above could be a black-box profile from a vendor —")
+	fmt.Println("no proprietary trace is needed to study their shared-memory contention.")
+}

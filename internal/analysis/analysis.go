@@ -1,0 +1,150 @@
+// Package analysis characterises memory traces: volume, mix, spatial
+// and temporal behaviour. It provides the numbers behind the paper's
+// motivation ("heterogeneous IPs access vastly different volumes of
+// data, have different access patterns") and powers the `mocktails
+// analyze` CLI and the "characterization" experiment table.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Report is a trace characterisation.
+type Report struct {
+	Requests int
+	Reads    int
+	Writes   int
+	Bytes    uint64
+	Duration uint64
+
+	// Footprint64 and Footprint4K are distinct touched blocks.
+	Footprint64 int
+	Footprint4K int
+
+	// Bandwidth is bytes per kilocycle over the trace duration.
+	Bandwidth float64
+
+	// DominantStride is the most frequent address delta and its share
+	// of all deltas (0..1).
+	DominantStride      int64
+	DominantStrideShare float64
+	// DistinctStrides is the number of different address deltas.
+	DistinctStrides int
+
+	// MeanGap is the mean inter-arrival time; GapCV its coefficient of
+	// variation (stddev/mean) — the burstiness measure (CV >> 1 means
+	// bursty, ~0 means metronomic).
+	MeanGap float64
+	GapCV   float64
+
+	// MeanSize is the mean request size in bytes.
+	MeanSize float64
+}
+
+// Characterize computes a Report for the trace.
+func Characterize(t trace.Trace) Report {
+	r := Report{Requests: len(t)}
+	if len(t) == 0 {
+		return r
+	}
+	r.Reads, r.Writes = t.Counts()
+	r.Bytes = t.Bytes()
+	r.Duration = t.Duration()
+	r.Footprint64 = t.Footprint(64)
+	r.Footprint4K = t.Footprint(4096)
+	if r.Duration > 0 {
+		r.Bandwidth = float64(r.Bytes) / float64(r.Duration) * 1000
+	}
+	r.MeanSize = float64(r.Bytes) / float64(len(t))
+
+	strides := make(map[int64]int)
+	var gaps []float64
+	for i := 1; i < len(t); i++ {
+		strides[int64(t[i].Addr)-int64(t[i-1].Addr)]++
+		gaps = append(gaps, float64(t[i].Time-t[i-1].Time))
+	}
+	r.DistinctStrides = len(strides)
+	best, bestN := int64(0), 0
+	for s, n := range strides {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	if len(t) > 1 {
+		r.DominantStride = best
+		r.DominantStrideShare = float64(bestN) / float64(len(t)-1)
+	}
+	if len(gaps) > 0 {
+		var sum float64
+		for _, g := range gaps {
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		var varsum float64
+		for _, g := range gaps {
+			d := g - mean
+			varsum += d * d
+		}
+		r.MeanGap = mean
+		if mean > 0 {
+			r.GapCV = math.Sqrt(varsum/float64(len(gaps))) / mean
+		}
+	}
+	return r
+}
+
+// ReadShare returns the fraction of requests that are reads.
+func (r Report) ReadShare() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Reads) / float64(r.Requests)
+}
+
+// TopStrides returns the n most frequent strides with their counts,
+// most frequent first (ties broken by smaller stride).
+func TopStrides(t trace.Trace, n int) []StrideCount {
+	counts := make(map[int64]int)
+	for i := 1; i < len(t); i++ {
+		counts[int64(t[i].Addr)-int64(t[i-1].Addr)]++
+	}
+	out := make([]StrideCount, 0, len(counts))
+	for s, c := range counts {
+		out = append(out, StrideCount{Stride: s, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Stride < out[j].Stride
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// StrideCount is one stride with its occurrence count.
+type StrideCount struct {
+	Stride int64
+	Count  int
+}
+
+// String renders the report for terminals.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"requests=%d (%.0f%% reads) bytes=%d duration=%d cycles\n"+
+			"footprint: %d x 64B, %d x 4KB blocks\n"+
+			"bandwidth: %.1f B/kcycle, mean size %.1f B\n"+
+			"strides: %d distinct, dominant %d (%.0f%% of deltas)\n"+
+			"inter-arrival: mean %.1f cycles, CV %.2f",
+		r.Requests, r.ReadShare()*100, r.Bytes, r.Duration,
+		r.Footprint64, r.Footprint4K,
+		r.Bandwidth, r.MeanSize,
+		r.DistinctStrides, r.DominantStride, r.DominantStrideShare*100,
+		r.MeanGap, r.GapCV)
+}

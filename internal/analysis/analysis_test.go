@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func req(t, a uint64, s uint32, op trace.Op) trace.Request {
+	return trace.Request{Time: t, Addr: a, Size: s, Op: op}
+}
+
+func TestCharacterizeEmpty(t *testing.T) {
+	r := Characterize(nil)
+	if r.Requests != 0 || r.Bandwidth != 0 || r.ReadShare() != 0 {
+		t.Errorf("empty report = %+v", r)
+	}
+}
+
+func TestCharacterizeLinearStream(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 100; i++ {
+		tr = append(tr, req(uint64(i*10), uint64(i*64), 64, trace.Read))
+	}
+	r := Characterize(tr)
+	if r.Requests != 100 || r.Reads != 100 || r.Writes != 0 {
+		t.Errorf("counts: %+v", r)
+	}
+	if r.DominantStride != 64 || r.DominantStrideShare != 1 {
+		t.Errorf("stride: %d (%.2f)", r.DominantStride, r.DominantStrideShare)
+	}
+	if r.DistinctStrides != 1 {
+		t.Errorf("DistinctStrides = %d", r.DistinctStrides)
+	}
+	if r.GapCV != 0 {
+		t.Errorf("metronomic stream GapCV = %v, want 0", r.GapCV)
+	}
+	if r.Footprint64 != 100 {
+		t.Errorf("Footprint64 = %d", r.Footprint64)
+	}
+	if r.MeanSize != 64 {
+		t.Errorf("MeanSize = %v", r.MeanSize)
+	}
+	// 100 x 64B over 990 cycles = 6464 B/kcycle.
+	if math.Abs(r.Bandwidth-float64(100*64)/990*1000) > 1e-6 {
+		t.Errorf("Bandwidth = %v", r.Bandwidth)
+	}
+}
+
+func TestCharacterizeBursty(t *testing.T) {
+	// Bursts of 10 back-to-back requests separated by huge gaps: CV >> 1.
+	var tr trace.Trace
+	tm := uint64(0)
+	for b := 0; b < 10; b++ {
+		for i := 0; i < 10; i++ {
+			tm++
+			tr = append(tr, req(tm, uint64(len(tr))*64, 64, trace.Read))
+		}
+		tm += 1_000_000
+	}
+	r := Characterize(tr)
+	if r.GapCV < 1 {
+		t.Errorf("bursty trace GapCV = %v, want >> 1", r.GapCV)
+	}
+}
+
+func TestReadShare(t *testing.T) {
+	tr := trace.Trace{
+		req(0, 0, 4, trace.Read),
+		req(1, 0, 4, trace.Write),
+		req(2, 0, 4, trace.Write),
+		req(3, 0, 4, trace.Write),
+	}
+	if got := Characterize(tr).ReadShare(); got != 0.25 {
+		t.Errorf("ReadShare = %v", got)
+	}
+}
+
+func TestTopStrides(t *testing.T) {
+	tr := trace.Trace{
+		req(0, 0, 4, trace.Read),
+		req(1, 64, 4, trace.Read),   // +64
+		req(2, 128, 4, trace.Read),  // +64
+		req(3, 4096, 4, trace.Read), // +3968
+	}
+	top := TopStrides(tr, 2)
+	if len(top) != 2 {
+		t.Fatalf("got %d strides", len(top))
+	}
+	if top[0].Stride != 64 || top[0].Count != 2 {
+		t.Errorf("top stride = %+v", top[0])
+	}
+	if all := TopStrides(tr, 0); len(all) != 2 {
+		t.Errorf("unlimited TopStrides = %d entries", len(all))
+	}
+	if empty := TopStrides(nil, 5); len(empty) != 0 {
+		t.Error("TopStrides(nil) nonempty")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	tr := trace.Trace{req(0, 0, 64, trace.Read), req(10, 64, 64, trace.Write)}
+	s := Characterize(tr).String()
+	for _, want := range []string{"requests=2", "50% reads", "64B"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSingleRequestReport(t *testing.T) {
+	r := Characterize(trace.Trace{req(5, 100, 32, trace.Write)})
+	if r.Requests != 1 || r.DistinctStrides != 0 || r.MeanGap != 0 {
+		t.Errorf("single-request report = %+v", r)
+	}
+}

@@ -1,0 +1,243 @@
+// Package cache implements the write-back, write-allocate, set-associative
+// cache hierarchy used by the paper's §V evaluation: an L1 of configurable
+// size and associativity backed by a 256KB 8-way L2 with 64-byte blocks and
+// LRU replacement, simulated in atomic mode (request order matters,
+// timestamps do not — matching the paper's gem5 atomic-mode methodology).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Policy selects the replacement policy of a cache level. The paper's
+// §V uses LRU; FIFO and Random support the replacement-policy
+// exploration use case named in §VI.
+type Policy int
+
+const (
+	// LRU evicts the least recently used line (the default).
+	LRU Policy = iota
+	// FIFO evicts the oldest-allocated line; hits do not refresh.
+	FIFO
+	// Random evicts a deterministic-pseudorandomly chosen line.
+	Random
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return "Policy(?)"
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes uint64
+	// Assoc is the number of ways per set.
+	Assoc int
+	// BlockBytes is the cache-line size.
+	BlockBytes uint64
+	// Policy is the replacement policy; the zero value is LRU.
+	Policy Policy
+	// Seed drives the Random policy's choices.
+	Seed uint64
+}
+
+// Validate checks the geometry is consistent.
+func (c Config) Validate() error {
+	if c.BlockBytes == 0 || c.Assoc <= 0 || c.SizeBytes == 0 {
+		return fmt.Errorf("cache: zero field in config %+v", c)
+	}
+	if c.SizeBytes%(c.BlockBytes*uint64(c.Assoc)) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by assoc*block", c.SizeBytes)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() uint64 { return c.SizeBytes / (c.BlockBytes * uint64(c.Assoc)) }
+
+// Stats are the per-level metrics of §V: miss rate, replacements and
+// write-backs.
+type Stats struct {
+	Accesses     uint64
+	Misses       uint64
+	Replacements uint64
+	WriteBacks   uint64
+}
+
+// MissRate returns misses/accesses as a percentage.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses) * 100
+}
+
+// line is one cache line. Lines within a set are kept in LRU order
+// (index 0 = most recently used).
+type line struct {
+	tag   uint64
+	dirty bool
+}
+
+// Cache is one level of a write-back, write-allocate cache. Misses and
+// dirty evictions propagate to the next level when one is attached.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	next  *Cache
+	rng   *stats.RNG
+	stats Stats
+}
+
+// New builds a cache level; next may be nil for the last level before
+// memory.
+func New(cfg Config, next *Cache) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		cfg:  cfg,
+		sets: make([][]line, cfg.Sets()),
+		next: next,
+		rng:  stats.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15),
+	}, nil
+}
+
+// MustNew is New but panics on config error; for tests and tables of
+// known-good configurations.
+func MustNew(cfg Config, next *Cache) *Cache {
+	c, err := New(cfg, next)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns the accumulated metrics of this level.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Access performs one block-aligned access. addr may be anywhere inside
+// the block. write marks the line dirty on hit or on allocation.
+func (c *Cache) Access(addr uint64, write bool) {
+	c.stats.Accesses++
+	block := addr / c.cfg.BlockBytes
+	setIdx := block % c.cfg.Sets()
+	tag := block / c.cfg.Sets()
+	set := c.sets[setIdx]
+
+	for i := range set {
+		if set[i].tag == tag {
+			// Hit. Under LRU the line moves to the MRU position; FIFO
+			// and Random leave the order untouched.
+			if c.cfg.Policy == LRU {
+				l := set[i]
+				copy(set[1:i+1], set[:i])
+				l.dirty = l.dirty || write
+				set[0] = l
+			} else {
+				set[i].dirty = set[i].dirty || write
+			}
+			return
+		}
+	}
+
+	// Miss: fetch from below, then allocate.
+	c.stats.Misses++
+	if c.next != nil {
+		c.next.Access(addr, false)
+	}
+	if len(set) >= c.cfg.Assoc {
+		// Pick the victim: the back of the list is the LRU (or, since
+		// insertion is at the front and FIFO never promotes, the
+		// oldest) line; Random picks any way.
+		vi := len(set) - 1
+		if c.cfg.Policy == Random {
+			vi = c.rng.Intn(len(set))
+		}
+		victim := set[vi]
+		set = append(set[:vi], set[vi+1:]...)
+		c.stats.Replacements++
+		if victim.dirty {
+			c.stats.WriteBacks++
+			if c.next != nil {
+				victimAddr := (victim.tag*c.cfg.Sets() + setIdx) * c.cfg.BlockBytes
+				c.next.Access(victimAddr, true)
+			}
+		}
+	}
+	set = append(set, line{})
+	copy(set[1:], set[:len(set)-1])
+	set[0] = line{tag: tag, dirty: write}
+	c.sets[setIdx] = set
+}
+
+// Hierarchy bundles an L1 and L2 and the request-splitting logic: a
+// request is broken into one access per 64-byte block it touches, and the
+// distinct-block footprint is tracked at the L1 port.
+type Hierarchy struct {
+	L1, L2 *Cache
+	blocks map[uint64]struct{}
+}
+
+// NewHierarchy builds the §V two-level hierarchy. l2 may equal the zero
+// Config to omit the L2.
+func NewHierarchy(l1, l2 Config) (*Hierarchy, error) {
+	var l2c *Cache
+	var err error
+	if l2.SizeBytes > 0 {
+		l2c, err = New(l2, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	l1c, err := New(l1, l2c)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1: l1c, L2: l2c, blocks: make(map[uint64]struct{})}, nil
+}
+
+// Run replays a trace through the hierarchy in order (atomic mode).
+func (h *Hierarchy) Run(t trace.Trace) {
+	for _, r := range t {
+		h.Request(r)
+	}
+}
+
+// Request applies one request, splitting it across the blocks it spans.
+func (h *Hierarchy) Request(r trace.Request) {
+	bs := h.L1.cfg.BlockBytes
+	last := r.Addr
+	if r.Size > 0 {
+		last = r.End() - 1
+	}
+	for b := r.Addr / bs; b <= last/bs; b++ {
+		h.blocks[b] = struct{}{}
+		h.L1.Access(b*bs, r.Op == trace.Write)
+	}
+}
+
+// FootprintBlocks returns the number of distinct L1-block-sized blocks
+// touched so far.
+func (h *Hierarchy) FootprintBlocks() int { return len(h.blocks) }
+
+// Default64 returns a Config with 64-byte blocks.
+func Default64(sizeBytes uint64, assoc int) Config {
+	return Config{SizeBytes: sizeBytes, Assoc: assoc, BlockBytes: 64}
+}
+
+// L2Default returns the paper's 256KB 8-way L2 configuration.
+func L2Default() Config { return Default64(256<<10, 8) }

@@ -1,0 +1,267 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func small() Config { return Config{SizeBytes: 512, Assoc: 2, BlockBytes: 64} } // 4 sets
+
+func TestConfigValidate(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{},
+		{SizeBytes: 100, Assoc: 2, BlockBytes: 64},
+		{SizeBytes: 512, Assoc: 0, BlockBytes: 64},
+		{SizeBytes: 512, Assoc: 2, BlockBytes: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSets(t *testing.T) {
+	if s := small().Sets(); s != 4 {
+		t.Errorf("Sets = %d, want 4", s)
+	}
+	if s := Default64(32<<10, 4).Sets(); s != 128 {
+		t.Errorf("32KB 4-way Sets = %d, want 128", s)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("New accepted zero config")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{}, nil)
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := MustNew(small(), nil)
+	c.Access(0, false)
+	if s := c.Stats(); s.Accesses != 1 || s.Misses != 1 {
+		t.Errorf("first access: %+v", s)
+	}
+	c.Access(0, false)
+	if s := c.Stats(); s.Misses != 1 {
+		t.Errorf("repeat access missed: %+v", s)
+	}
+	c.Access(63, false) // same block
+	if s := c.Stats(); s.Misses != 1 {
+		t.Errorf("same-block access missed: %+v", s)
+	}
+	c.Access(64, false) // next block
+	if s := c.Stats(); s.Misses != 2 {
+		t.Errorf("new block did not miss: %+v", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 4 sets, 2-way: blocks 0, 4, 8 all map to set 0.
+	c := MustNew(small(), nil)
+	set0 := func(i uint64) uint64 { return i * 4 * 64 }
+	c.Access(set0(0), false)
+	c.Access(set0(1), false)
+	c.Access(set0(0), false) // touch 0: now 1 is LRU
+	c.Access(set0(2), false) // evicts 1
+	if s := c.Stats(); s.Replacements != 1 {
+		t.Fatalf("replacements = %d", s.Replacements)
+	}
+	c.Access(set0(0), false) // still resident
+	if s := c.Stats(); s.Misses != 3 {
+		t.Errorf("block 0 was evicted out of LRU order: %+v", s)
+	}
+	c.Access(set0(1), false) // was evicted: miss
+	if s := c.Stats(); s.Misses != 4 {
+		t.Errorf("block 1 unexpectedly resident: %+v", s)
+	}
+}
+
+func TestWriteBackOnlyDirtyLines(t *testing.T) {
+	c := MustNew(small(), nil)
+	set0 := func(i uint64) uint64 { return i * 4 * 64 }
+	c.Access(set0(0), true)  // dirty
+	c.Access(set0(1), false) // clean
+	c.Access(set0(2), false) // evicts 0 (dirty) -> writeback
+	c.Access(set0(3), false) // evicts 1 (clean) -> no writeback
+	s := c.Stats()
+	if s.WriteBacks != 1 {
+		t.Errorf("writebacks = %d, want 1", s.WriteBacks)
+	}
+	if s.Replacements != 2 {
+		t.Errorf("replacements = %d, want 2", s.Replacements)
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := MustNew(small(), nil)
+	set0 := func(i uint64) uint64 { return i * 4 * 64 }
+	c.Access(set0(0), false) // clean allocation
+	c.Access(set0(0), true)  // write hit: dirty now
+	c.Access(set0(1), false)
+	c.Access(set0(2), false) // evicts 0
+	if s := c.Stats(); s.WriteBacks != 1 {
+		t.Errorf("write hit did not dirty the line: %+v", s)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Error("empty MissRate != 0")
+	}
+	s := Stats{Accesses: 200, Misses: 50}
+	if s.MissRate() != 25 {
+		t.Errorf("MissRate = %v", s.MissRate())
+	}
+}
+
+func TestDirtyEvictionPropagatesToL2(t *testing.T) {
+	l2 := MustNew(Config{SizeBytes: 4096, Assoc: 4, BlockBytes: 64}, nil)
+	l1 := MustNew(small(), l2)
+	set0 := func(i uint64) uint64 { return i * 4 * 64 }
+	l1.Access(set0(0), true)
+	l1.Access(set0(1), false)
+	before := l2.Stats().Accesses
+	l1.Access(set0(2), false) // evicts dirty block 0 -> L2 write + L2 fill for block 2
+	if l2.Stats().Accesses != before+2 {
+		t.Errorf("L2 accesses %d -> %d, want +2 (fill + writeback)", before, l2.Stats().Accesses)
+	}
+}
+
+func TestL2FilterEffect(t *testing.T) {
+	// Re-referencing a block that fell out of L1 but stays in L2: the
+	// L2 sees no extra miss.
+	h, err := NewHierarchy(small(), Config{SizeBytes: 64 << 10, Assoc: 8, BlockBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set0 := func(i uint64) uint64 { return i * 4 * 64 }
+	h.Request(trace.Request{Addr: set0(0), Size: 4, Op: trace.Read})
+	h.Request(trace.Request{Addr: set0(1), Size: 4, Op: trace.Read})
+	h.Request(trace.Request{Addr: set0(2), Size: 4, Op: trace.Read}) // evict 0 from L1
+	missesBefore := h.L2.Stats().Misses
+	h.Request(trace.Request{Addr: set0(0), Size: 4, Op: trace.Read}) // L1 miss, L2 hit
+	if h.L2.Stats().Misses != missesBefore {
+		t.Error("L2 missed on a block it should hold")
+	}
+}
+
+func TestHierarchySplitsSpanningRequests(t *testing.T) {
+	h, err := NewHierarchy(small(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128 bytes starting at 32 spans blocks 0, 1, 2.
+	h.Request(trace.Request{Addr: 32, Size: 128, Op: trace.Read})
+	if got := h.L1.Stats().Accesses; got != 3 {
+		t.Errorf("spanning request made %d accesses, want 3", got)
+	}
+	if h.FootprintBlocks() != 3 {
+		t.Errorf("footprint = %d, want 3", h.FootprintBlocks())
+	}
+}
+
+func TestHierarchyWithoutL2(t *testing.T) {
+	h, err := NewHierarchy(small(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.L2 != nil {
+		t.Fatal("zero L2 config should omit the level")
+	}
+	h.Run(trace.Trace{{Addr: 0, Size: 4, Op: trace.Write}})
+	if h.L1.Stats().Accesses != 1 {
+		t.Error("Run did not access L1")
+	}
+}
+
+func TestZeroSizeRequest(t *testing.T) {
+	h, _ := NewHierarchy(small(), Config{})
+	h.Request(trace.Request{Addr: 100, Size: 0, Op: trace.Read})
+	if h.L1.Stats().Accesses != 1 {
+		t.Errorf("zero-size request made %d accesses", h.L1.Stats().Accesses)
+	}
+}
+
+func TestFullyAssociativeNoConflicts(t *testing.T) {
+	// Cycling over 8 blocks in an 8-way fully-associative 512B cache:
+	// only compulsory misses.
+	c := MustNew(Config{SizeBytes: 512, Assoc: 8, BlockBytes: 64}, nil)
+	for round := 0; round < 10; round++ {
+		for b := uint64(0); b < 8; b++ {
+			c.Access(b*64, false)
+		}
+	}
+	if s := c.Stats(); s.Misses != 8 {
+		t.Errorf("misses = %d, want 8 compulsory", s.Misses)
+	}
+}
+
+func TestCyclicThrashWithLRU(t *testing.T) {
+	// Cycling over 9 blocks in the same 8-way cache: LRU evicts the
+	// block just before it is needed — 100% misses.
+	c := MustNew(Config{SizeBytes: 512, Assoc: 8, BlockBytes: 64}, nil)
+	for round := 0; round < 10; round++ {
+		for b := uint64(0); b < 9; b++ {
+			c.Access(b*64, false)
+		}
+	}
+	if s := c.Stats(); s.Misses != s.Accesses {
+		t.Errorf("misses = %d of %d, want all", s.Misses, s.Accesses)
+	}
+}
+
+func TestInclusionProperty(t *testing.T) {
+	// For a fixed number of sets, a larger associativity can only
+	// reduce misses (LRU is a stack algorithm). Verify on random
+	// traffic with 4-set caches of growing associativity.
+	rng := stats.NewRNG(7)
+	addrs := make([]uint64, 5000)
+	for i := range addrs {
+		addrs[i] = rng.Uint64n(64) * 64
+	}
+	var prev uint64 = ^uint64(0)
+	for _, assoc := range []int{1, 2, 4, 8} {
+		c := MustNew(Config{SizeBytes: uint64(assoc) * 4 * 64, Assoc: assoc, BlockBytes: 64}, nil)
+		for _, a := range addrs {
+			c.Access(a, false)
+		}
+		m := c.Stats().Misses
+		if m > prev {
+			t.Errorf("assoc %d misses %d > previous %d (inclusion violated)", assoc, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestCacheProperty(t *testing.T) {
+	// Misses never exceed accesses; writebacks never exceed
+	// replacements + final dirty lines; stats are deterministic.
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		c := MustNew(small(), nil)
+		for i := 0; i < 2000; i++ {
+			c.Access(rng.Uint64n(1<<12), rng.Bool(0.4))
+		}
+		s := c.Stats()
+		return s.Misses <= s.Accesses && s.WriteBacks <= s.Replacements
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package core is the public face of the Mocktails reproduction: it ties
+// hierarchical partitioning, McC leaf modelling, profile serialisation and
+// priority-queue synthesis together behind a small API.
+//
+// The two entry points mirror Fig. 1 of the paper:
+//
+//   - Build: industry side — turn a (proprietary) trace into a statistical
+//     profile that can be distributed freely.
+//   - Synthesize / SynthesizeTrace: academia side — recreate a request
+//     stream from a profile and plug it into a simulator of choice, either
+//     as a trace (Option A) or as a live trace.Source with backpressure
+//     feedback (Option B).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Config selects the partitioning hierarchy used when building a profile.
+// The zero value is not valid; use one of the constructors or fill Layers
+// explicitly.
+type Config = partition.Config
+
+// DefaultConfig returns the paper's 2L-TS configuration used throughout
+// §IV: temporal 500,000-cycle intervals (from SynFull) followed by dynamic
+// spatial partitioning.
+func DefaultConfig() Config { return partition.TwoLevelTS(500000) }
+
+// CPUPortConfig returns the §V configuration for CPU-to-L1 traces:
+// temporal 100,000-request intervals (from STM) followed by dynamic
+// spatial partitioning.
+func CPUPortConfig() Config { return partition.TwoLevelRequestCount(100000, 0) }
+
+// Build creates a Mocktails statistical profile from a trace. The trace
+// must be sorted by time; name labels the workload in the profile.
+func Build(name string, t trace.Trace, cfg Config) (*profile.Profile, error) {
+	if !t.Sorted() {
+		return nil, fmt.Errorf("core: trace %q is not sorted by time", name)
+	}
+	return profile.Build(name, t, cfg)
+}
+
+// Synthesize returns a live request source that regenerates the
+// workload's behaviour from the profile. The source implements
+// trace.Source, including backpressure feedback via Delay, so it can be
+// coupled tightly to a simulator (Option B in Fig. 1).
+func Synthesize(p *profile.Profile, seed uint64) trace.Source {
+	return synth.New(p, seed)
+}
+
+// SynthesizeTrace drains a full synthetic trace from the profile
+// (Option A in Fig. 1: generate a synthetic trace file up front). The
+// result is sorted by time.
+func SynthesizeTrace(p *profile.Profile, seed uint64) trace.Trace {
+	return trace.Collect(synth.New(p, seed), 0)
+}
+
+// Clone rebuilds a trace end-to-end: Build followed by SynthesizeTrace.
+// It is a convenience for evaluations that compare an original workload
+// with its Mocktails recreation.
+func Clone(name string, t trace.Trace, cfg Config, seed uint64) (trace.Trace, *profile.Profile, error) {
+	p, err := Build(name, t, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return SynthesizeTrace(p, seed), p, nil
+}

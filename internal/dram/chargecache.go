@@ -1,0 +1,77 @@
+package dram
+
+// ChargeCache (Hassan et al., HPCA 2016) lowers activation latency for
+// rows that were closed recently: a recently-accessed row's cells remain
+// highly charged, so it can be activated with a reduced tRCD. The paper's
+// §VI names ChargeCache as the kind of memory-controller optimisation
+// Mocktails lets academics evaluate against proprietary device behaviour;
+// this file adds that optimisation to the controller model so the
+// repository can run that exact study (see the "chargecache" experiment).
+
+// chargeCache is a per-channel LRU table of recently-closed rows.
+type chargeCache struct {
+	capacity int
+	entries  []ccKey // index 0 = most recent
+	hits     uint64
+	lookups  uint64
+}
+
+type ccKey struct {
+	bank int
+	row  uint64
+}
+
+func newChargeCache(capacity int) *chargeCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &chargeCache{capacity: capacity}
+}
+
+// lookup reports whether the row was closed recently, refreshing its
+// recency on a hit.
+func (c *chargeCache) lookup(bank int, row uint64) bool {
+	c.lookups++
+	k := ccKey{bank, row}
+	for i, e := range c.entries {
+		if e == k {
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = k
+			c.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// insert records a row closure, evicting the least recent entry when
+// full.
+func (c *chargeCache) insert(bank int, row uint64) {
+	k := ccKey{bank, row}
+	for i, e := range c.entries {
+		if e == k {
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = k
+			return
+		}
+	}
+	if len(c.entries) < c.capacity {
+		c.entries = append(c.entries, ccKey{})
+	}
+	copy(c.entries[1:], c.entries[:len(c.entries)-1])
+	c.entries[0] = k
+}
+
+// ChargeCacheStats exposes the hit statistics of one channel's table.
+type ChargeCacheStats struct {
+	Hits    uint64
+	Lookups uint64
+}
+
+// HitRate returns hits/lookups as a percentage.
+func (s ChargeCacheStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups) * 100
+}

@@ -1,0 +1,138 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestChargeCacheDisabledByDefault(t *testing.T) {
+	if Default().ChargeCacheEntries != 0 {
+		t.Error("ChargeCache enabled by default")
+	}
+	if newChargeCache(0) != nil {
+		t.Error("zero-capacity cache not nil")
+	}
+}
+
+func TestWithChargeCache(t *testing.T) {
+	c := Default().WithChargeCache(128)
+	if c.ChargeCacheEntries != 128 {
+		t.Errorf("entries = %d", c.ChargeCacheEntries)
+	}
+	if c.TRCDReduced == 0 || c.TRCDReduced >= c.TRCD {
+		t.Errorf("TRCDReduced = %d vs TRCD %d", c.TRCDReduced, c.TRCD)
+	}
+}
+
+func TestChargeCacheLRU(t *testing.T) {
+	cc := newChargeCache(2)
+	cc.insert(0, 1)
+	cc.insert(0, 2)
+	if !cc.lookup(0, 1) || !cc.lookup(0, 2) {
+		t.Fatal("fresh entries missing")
+	}
+	// 1 was refreshed by the lookup order above? lookup(0,1) then
+	// lookup(0,2): now 2 is MRU. Inserting 3 evicts 1.
+	cc.insert(0, 3)
+	if cc.lookup(0, 1) {
+		t.Error("LRU entry not evicted")
+	}
+	if !cc.lookup(0, 3) || !cc.lookup(0, 2) {
+		t.Error("resident entries evicted")
+	}
+}
+
+func TestChargeCacheReinsertRefreshes(t *testing.T) {
+	cc := newChargeCache(2)
+	cc.insert(0, 1)
+	cc.insert(0, 2)
+	cc.insert(0, 1) // refresh, no growth
+	cc.insert(0, 3) // evicts 2
+	if cc.lookup(0, 2) {
+		t.Error("refreshed insert did not update recency")
+	}
+	if !cc.lookup(0, 1) {
+		t.Error("refreshed entry evicted")
+	}
+}
+
+func TestChargeCacheBankDisambiguation(t *testing.T) {
+	cc := newChargeCache(4)
+	cc.insert(0, 7)
+	if cc.lookup(1, 7) {
+		t.Error("row hit in wrong bank")
+	}
+}
+
+func TestChargeCacheStatsHitRate(t *testing.T) {
+	s := ChargeCacheStats{}
+	if s.HitRate() != 0 {
+		t.Error("empty HitRate != 0")
+	}
+	s = ChargeCacheStats{Hits: 1, Lookups: 4}
+	if s.HitRate() != 25 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+}
+
+// rowReuseTrace revisits a small set of rows with gaps long enough that
+// the open-adaptive policy closes them between visits: every activation
+// is a ChargeCache opportunity.
+func rowReuseTrace(n int) trace.Trace {
+	var tr trace.Trace
+	for i := 0; i < n; i++ {
+		row := uint64(i % 4)
+		addr := row * 4 * 8 * 1024 // same channel 0, bank 0, rows 0-3
+		tr = append(tr, trace.Request{Time: uint64(i) * 5000, Addr: addr, Size: 32, Op: trace.Read})
+	}
+	return tr
+}
+
+func TestChargeCacheReducesLatency(t *testing.T) {
+	tr := rowReuseTrace(2000)
+	base := Run(trace.NewReplayer(tr.Clone()), Default(), 20)
+	opt := Run(trace.NewReplayer(tr.Clone()), Default().WithChargeCache(128), 20)
+	if opt.AvgLatency >= base.AvgLatency {
+		t.Errorf("ChargeCache did not help: %.2f vs %.2f", opt.AvgLatency, base.AvgLatency)
+	}
+	var hits uint64
+	for i := range opt.Channels {
+		hits += opt.Channels[i].ChargeCache.Hits
+	}
+	if hits == 0 {
+		t.Error("no ChargeCache hits on a row-reuse workload")
+	}
+}
+
+func TestChargeCacheNeutralOnRandomRows(t *testing.T) {
+	// Uniform random rows far exceed the table: hit rate should be low
+	// and latency roughly unchanged.
+	rng := stats.NewRNG(5)
+	var tr trace.Trace
+	for i := 0; i < 2000; i++ {
+		tr = append(tr, trace.Request{Time: uint64(i) * 3000, Addr: rng.Uint64n(1<<30) &^ 31, Size: 32, Op: trace.Read})
+	}
+	opt := Run(trace.NewReplayer(tr), Default().WithChargeCache(32), 20)
+	var s ChargeCacheStats
+	for i := range opt.Channels {
+		s.Hits += opt.Channels[i].ChargeCache.Hits
+		s.Lookups += opt.Channels[i].ChargeCache.Lookups
+	}
+	if s.Lookups == 0 {
+		t.Fatal("no activations recorded")
+	}
+	if s.HitRate() > 10 {
+		t.Errorf("random rows hit %.1f%% of the time", s.HitRate())
+	}
+}
+
+func TestChargeCacheDoesNotChangeCounts(t *testing.T) {
+	tr := rowReuseTrace(500)
+	base := Run(trace.NewReplayer(tr.Clone()), Default(), 20)
+	opt := Run(trace.NewReplayer(tr.Clone()), Default().WithChargeCache(64), 20)
+	if base.ReadBursts() != opt.ReadBursts() {
+		t.Error("ChargeCache changed burst counts")
+	}
+}

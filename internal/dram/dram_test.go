@@ -1,0 +1,323 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func req(t, a uint64, s uint32, op trace.Op) trace.Request {
+	return trace.Request{Time: t, Addr: a, Size: s, Op: op}
+}
+
+func runTrace(tr trace.Trace, cfg Config) Result {
+	return Run(trace.NewReplayer(tr), cfg, 0)
+}
+
+func TestDefaultConfigMatchesTableIII(t *testing.T) {
+	c := Default()
+	if c.Channels != 4 || c.RanksPerChannel != 1 || c.BanksPerRank != 8 {
+		t.Errorf("geometry %d/%d/%d", c.Channels, c.RanksPerChannel, c.BanksPerRank)
+	}
+	if c.BurstBytes != 32 {
+		t.Errorf("burst %d", c.BurstBytes)
+	}
+	if c.ReadQueueDepth != 32 || c.WriteQueueDepth != 64 {
+		t.Errorf("queues %d/%d", c.ReadQueueDepth, c.WriteQueueDepth)
+	}
+	if c.writeHigh() != 54 || c.writeLow() != 32 {
+		t.Errorf("thresholds %d/%d, want 54/32", c.writeHigh(), c.writeLow())
+	}
+}
+
+func TestMapAddrRoundRobin(t *testing.T) {
+	c := Default()
+	// Consecutive row-buffer stripes rotate over channels.
+	ch0, _, _ := c.mapAddr(0)
+	ch1, _, _ := c.mapAddr(c.RowBufferBytes)
+	ch2, _, _ := c.mapAddr(2 * c.RowBufferBytes)
+	if ch0 == ch1 || ch1 == ch2 || ch0 != 0 {
+		t.Errorf("channels %d,%d,%d", ch0, ch1, ch2)
+	}
+	// Same stripe, same mapping.
+	chA, bkA, rwA := c.mapAddr(100)
+	chB, bkB, rwB := c.mapAddr(900)
+	if chA != chB || bkA != bkB || rwA != rwB {
+		t.Error("addresses within one stripe mapped differently")
+	}
+}
+
+func TestMapAddrBankThenRow(t *testing.T) {
+	c := Default()
+	// After all channels, the bank advances; after all banks, the row.
+	_, bk0, r0 := c.mapAddr(0)
+	_, bk1, r1 := c.mapAddr(uint64(c.Channels) * c.RowBufferBytes)
+	if bk1 != bk0+1 || r0 != r1 {
+		t.Errorf("bank step: bank %d->%d row %d->%d", bk0, bk1, r0, r1)
+	}
+	_, bkW, rW := c.mapAddr(uint64(c.Channels*c.banks()) * c.RowBufferBytes)
+	if bkW != bk0 || rW != r0+1 {
+		t.Errorf("row step: bank %d row %d", bkW, rW)
+	}
+}
+
+func TestBurstSplitting(t *testing.T) {
+	// A 128-byte request is 4 bursts of 32B; 1 byte is 1 burst.
+	res := runTrace(trace.Trace{req(0, 0, 128, trace.Read)}, Default())
+	if res.ReadBursts() != 4 {
+		t.Errorf("128B request made %d bursts, want 4", res.ReadBursts())
+	}
+	res = runTrace(trace.Trace{req(0, 0, 1, trace.Write)}, Default())
+	if res.WriteBursts() != 1 {
+		t.Errorf("1B request made %d bursts, want 1", res.WriteBursts())
+	}
+}
+
+func TestUnalignedRequestSpansBursts(t *testing.T) {
+	// 32 bytes starting at offset 16 touches two bursts.
+	res := runTrace(trace.Trace{req(0, 16, 32, trace.Read)}, Default())
+	if res.ReadBursts() != 2 {
+		t.Errorf("unaligned request made %d bursts, want 2", res.ReadBursts())
+	}
+}
+
+func TestZeroSizeRequestCountsOneBurst(t *testing.T) {
+	res := runTrace(trace.Trace{req(0, 64, 0, trace.Read)}, Default())
+	if res.ReadBursts() != 1 {
+		t.Errorf("zero-size request made %d bursts", res.ReadBursts())
+	}
+}
+
+func TestSequentialReadsHitRows(t *testing.T) {
+	// A dense linear scan within one row buffer: requests queue up, the
+	// row stays open (open-adaptive sees pending hits), and everything
+	// after the first burst is a row hit.
+	var tr trace.Trace
+	for i := 0; i < 32; i++ {
+		tr = append(tr, req(0, uint64(i*32), 32, trace.Read))
+	}
+	res := runTrace(tr, Default())
+	if res.ReadBursts() != 32 {
+		t.Fatalf("bursts = %d", res.ReadBursts())
+	}
+	// All 32 bursts are in one 1KB stripe = one bank/row. The first
+	// burst activates; the second can be serviced before the third
+	// arrives through the crossbar (closing the idle row); the rest
+	// queue up and hit: 30 hits.
+	if res.ReadRowHits() < 30 {
+		t.Errorf("row hits = %d, want >= 30", res.ReadRowHits())
+	}
+}
+
+func TestRandomRowsMissMoreThanLinear(t *testing.T) {
+	rng := stats.NewRNG(1)
+	var rnd, lin trace.Trace
+	for i := 0; i < 2000; i++ {
+		rnd = append(rnd, req(uint64(i*5), rng.Uint64n(1<<26)&^31, 32, trace.Read))
+		lin = append(lin, req(uint64(i*5), uint64(i*32), 32, trace.Read))
+	}
+	rndHits := runTrace(rnd, Default()).ReadRowHits()
+	linHits := runTrace(lin, Default()).ReadRowHits()
+	if rndHits >= linHits {
+		t.Errorf("random (%d) should hit fewer rows than linear (%d)", rndHits, linHits)
+	}
+}
+
+func TestWriteDrainDelaysWrites(t *testing.T) {
+	// Writes alone trigger drain mode once the queue passes the high
+	// watermark or reads run out; either way they are eventually
+	// serviced and counted.
+	var tr trace.Trace
+	for i := 0; i < 100; i++ {
+		tr = append(tr, req(uint64(i*10), uint64(i*32), 32, trace.Write))
+	}
+	res := runTrace(tr, Default())
+	if res.WriteBursts() != 100 {
+		t.Errorf("write bursts = %d", res.WriteBursts())
+	}
+	if res.WriteRowHits() == 0 {
+		t.Error("linear writes produced no row hits")
+	}
+}
+
+func TestReadsPerTurnaroundRecorded(t *testing.T) {
+	// Interleave enough writes to force drain transitions.
+	var tr trace.Trace
+	tm := uint64(0)
+	for i := 0; i < 3000; i++ {
+		tm += 2
+		op := trace.Read
+		if i%3 != 0 {
+			op = trace.Write
+		}
+		tr = append(tr, req(tm, uint64(i%512)*64, 64, op))
+	}
+	res := runTrace(tr, Default())
+	turns := uint64(0)
+	for i := range res.Channels {
+		turns += res.Channels[i].ReadsPerTurnaround.Total()
+	}
+	if turns == 0 {
+		t.Error("no read-to-write turnarounds recorded")
+	}
+}
+
+func TestQueueLengthSeenRecorded(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 200; i++ {
+		tr = append(tr, req(uint64(i), uint64(i*32), 32, trace.Read))
+	}
+	res := runTrace(tr, Default())
+	var seen uint64
+	for i := range res.Channels {
+		seen += res.Channels[i].ReadQLenSeen.Total()
+	}
+	if seen != 200 {
+		t.Errorf("queue-length observations = %d, want 200", seen)
+	}
+	// Back-to-back arrivals must observe non-empty queues.
+	if res.AvgReadQueueLen() == 0 {
+		t.Error("burst arrivals saw an always-empty queue")
+	}
+}
+
+func TestBackpressureDelaysSource(t *testing.T) {
+	// Flood one channel so the 32-entry read queue overflows; the
+	// replayer must be delayed (its later timestamps shift).
+	var tr trace.Trace
+	for i := 0; i < 500; i++ {
+		tr = append(tr, req(uint64(i), uint64(i%8)*32, 32, trace.Read))
+	}
+	rep := trace.NewReplayer(tr)
+	s := NewSystem(Default(), 0)
+	maxDelay := uint64(0)
+	for {
+		r, ok := rep.Next()
+		if !ok {
+			break
+		}
+		if d := s.Inject(r); d > 0 {
+			rep.Delay(d)
+			if d > maxDelay {
+				maxDelay = d
+			}
+		}
+	}
+	s.Drain()
+	if maxDelay == 0 {
+		t.Error("no backpressure under a flood")
+	}
+}
+
+func TestPerBankCountsSumToBursts(t *testing.T) {
+	rng := stats.NewRNG(2)
+	var tr trace.Trace
+	for i := 0; i < 1000; i++ {
+		op := trace.Read
+		if rng.Bool(0.5) {
+			op = trace.Write
+		}
+		tr = append(tr, req(uint64(i*50), rng.Uint64n(1<<24)&^31, 32, op))
+	}
+	res := runTrace(tr, Default())
+	var bankReads, bankWrites uint64
+	for i := range res.Channels {
+		for _, n := range res.Channels[i].PerBankReadBursts {
+			bankReads += n
+		}
+		for _, n := range res.Channels[i].PerBankWriteBursts {
+			bankWrites += n
+		}
+	}
+	if bankReads != res.ReadBursts() || bankWrites != res.WriteBursts() {
+		t.Errorf("per-bank sums %d/%d, totals %d/%d",
+			bankReads, bankWrites, res.ReadBursts(), res.WriteBursts())
+	}
+}
+
+func TestRowHitsNeverExceedBursts(t *testing.T) {
+	rng := stats.NewRNG(3)
+	var tr trace.Trace
+	for i := 0; i < 500; i++ {
+		tr = append(tr, req(uint64(i*20), rng.Uint64n(1<<20), 64, trace.Read))
+	}
+	res := runTrace(tr, Default())
+	if res.ReadRowHits() > res.ReadBursts() {
+		t.Error("row hits exceed bursts")
+	}
+}
+
+func TestLatencyPositiveAndBounded(t *testing.T) {
+	tr := trace.Trace{req(0, 0, 32, trace.Read)}
+	res := Run(trace.NewReplayer(tr), Default(), 20)
+	// One read: 1 cycle crossbar occupancy + 20 traversal + activate 15
+	// + CAS 15 + burst 4 = 55.
+	if res.AvgLatency != 55 {
+		t.Errorf("single-read latency = %v, want 55", res.AvgLatency)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	rng := stats.NewRNG(4)
+	var tr trace.Trace
+	for i := 0; i < 1000; i++ {
+		tr = append(tr, req(uint64(i*7), rng.Uint64n(1<<22)&^31, 64, trace.Read))
+	}
+	a := runTrace(tr, Default())
+	b := runTrace(tr, Default())
+	if a.ReadRowHits() != b.ReadRowHits() || a.AvgLatency != b.AvgLatency {
+		t.Error("simulation is not deterministic")
+	}
+}
+
+func TestRequestsCounted(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 77; i++ {
+		tr = append(tr, req(uint64(i*10), uint64(i*64), 64, trace.Read))
+	}
+	res := runTrace(tr, Default())
+	if res.Requests != 77 {
+		t.Errorf("Requests = %d", res.Requests)
+	}
+	if res.String() == "" {
+		t.Error("empty Result.String")
+	}
+}
+
+func TestFRFCFSPrefersRowHit(t *testing.T) {
+	// A 128-byte warm-up keeps row 0 open (its remaining bursts stay
+	// queued); then an OLDER request to row 1 and a YOUNGER request to
+	// row 0 are both queued. FR-FCFS services the younger row-0 hit
+	// before the older row-1 miss: 3 hits total (2 warm-up — the first
+	// two warm-up bursts are serviced back-to-back before anything else
+	// queues — plus the reordered hit). A plain FCFS scheduler would
+	// service row 1 in between, closing row 0, for only 2 hits.
+	cfg := Default()
+	cfg.Channels = 1
+	row1 := uint64(cfg.banks()) * cfg.RowBufferBytes
+	tr := trace.Trace{
+		req(0, 0, 128, trace.Read), // bursts 1-4, row 0
+		req(5, row1, 32, trace.Read),
+		req(6, 32, 32, trace.Read),
+	}
+	res := runTrace(tr, cfg)
+	if res.ReadRowHits() != 3 {
+		t.Errorf("row hits = %d, want 3 (FR-FCFS should reorder)", res.ReadRowHits())
+	}
+}
+
+func TestOpenAdaptiveClosesIdleRow(t *testing.T) {
+	// With no pending requests for the row, the page closes; a later
+	// access to the same row is a miss (activate needed), not a hit.
+	cfg := Default()
+	cfg.Channels = 1
+	tr := trace.Trace{
+		req(0, 0, 32, trace.Read),
+		req(1000000, 32, 32, trace.Read), // long after: row was closed
+	}
+	res := runTrace(tr, cfg)
+	if res.ReadRowHits() != 0 {
+		t.Errorf("row hits = %d, want 0 under open-adaptive", res.ReadRowHits())
+	}
+}

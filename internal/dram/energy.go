@@ -1,0 +1,60 @@
+package dram
+
+// Energy estimation in the style of DRAMPower: event energies for
+// activate/precharge pairs and per-burst read/write transfers, plus
+// background power integrated over the simulated span. The paper's §VI
+// positions Mocktails as a vehicle for memory-system studies; energy is
+// a first-class metric in such studies, so the model exposes it from the
+// statistics the controller already gathers.
+
+// EnergyParams are per-event energies in picojoules and background power
+// in picojoules per cycle per channel. Defaults approximate an
+// LPDDR4-class part.
+type EnergyParams struct {
+	ActPrePJ     float64 // one activate+precharge pair
+	ReadBurstPJ  float64 // one 32-byte read burst
+	WriteBurstPJ float64 // one 32-byte write burst
+	BackgroundPJ float64 // per cycle per channel
+}
+
+// DefaultEnergy returns LPDDR4-class parameters.
+func DefaultEnergy() EnergyParams {
+	return EnergyParams{
+		ActPrePJ:     1500,
+		ReadBurstPJ:  250,
+		WriteBurstPJ: 280,
+		BackgroundPJ: 8,
+	}
+}
+
+// Energy is the estimated energy breakdown of a simulation, in
+// picojoules.
+type Energy struct {
+	Activate   float64
+	Read       float64
+	Write      float64
+	Background float64
+}
+
+// Total returns the sum of all components.
+func (e Energy) Total() float64 { return e.Activate + e.Read + e.Write + e.Background }
+
+// Energy estimates the energy of the simulation from its statistics:
+// every serviced burst that was not a row hit paid an activation (and a
+// matching precharge), every burst paid a transfer, and background power
+// accrues over the busy span of each channel.
+func (r Result) Energy(p EnergyParams) Energy {
+	var e Energy
+	activations := float64(r.ReadBursts()+r.WriteBursts()) -
+		float64(r.ReadRowHits()+r.WriteRowHits())
+	if activations < 0 {
+		activations = 0
+	}
+	e.Activate = activations * p.ActPrePJ
+	e.Read = float64(r.ReadBursts()) * p.ReadBurstPJ
+	e.Write = float64(r.WriteBursts()) * p.WriteBurstPJ
+	for i := range r.Channels {
+		e.Background += float64(r.Channels[i].BusyUntil) * p.BackgroundPJ
+	}
+	return e
+}

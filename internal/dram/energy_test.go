@@ -1,0 +1,57 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestEnergyZeroForEmptyResult(t *testing.T) {
+	var r Result
+	e := r.Energy(DefaultEnergy())
+	if e.Total() != 0 {
+		t.Errorf("empty result energy = %v", e)
+	}
+}
+
+func TestEnergyComponentsPositive(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 500; i++ {
+		op := trace.Read
+		if i%3 == 0 {
+			op = trace.Write
+		}
+		tr = append(tr, trace.Request{Time: uint64(i * 20), Addr: uint64(i*64) % (1 << 20), Size: 64, Op: op})
+	}
+	res := Run(trace.NewReplayer(tr), Default(), 20)
+	e := res.Energy(DefaultEnergy())
+	if e.Activate <= 0 || e.Read <= 0 || e.Write <= 0 || e.Background <= 0 {
+		t.Errorf("energy components not all positive: %+v", e)
+	}
+	if e.Total() != e.Activate+e.Read+e.Write+e.Background {
+		t.Error("Total inconsistent")
+	}
+}
+
+func TestRowLocalityReducesActivationEnergy(t *testing.T) {
+	// A dense linear scan (high row locality) must spend less
+	// activation energy than a random scan of the same length.
+	var lin, rnd trace.Trace
+	for i := 0; i < 2000; i++ {
+		lin = append(lin, trace.Request{Time: uint64(i * 3), Addr: uint64(i * 32), Size: 32, Op: trace.Read})
+		rnd = append(rnd, trace.Request{Time: uint64(i * 3), Addr: (uint64(i) * 2654435761) % (1 << 28) &^ 31, Size: 32, Op: trace.Read})
+	}
+	eLin := Run(trace.NewReplayer(lin), Default(), 20).Energy(DefaultEnergy())
+	eRnd := Run(trace.NewReplayer(rnd), Default(), 20).Energy(DefaultEnergy())
+	if eLin.Activate >= eRnd.Activate {
+		t.Errorf("linear activation energy %v not below random %v", eLin.Activate, eRnd.Activate)
+	}
+}
+
+func TestBusyUntilRecorded(t *testing.T) {
+	tr := trace.Trace{{Time: 0, Addr: 0, Size: 32, Op: trace.Read}}
+	res := Run(trace.NewReplayer(tr), Default(), 20)
+	if res.Channels[0].BusyUntil == 0 {
+		t.Error("BusyUntil not recorded for the serviced channel")
+	}
+}

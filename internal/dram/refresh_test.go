@@ -1,0 +1,82 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func denseLinear(n int) trace.Trace {
+	var tr trace.Trace
+	for i := 0; i < n; i++ {
+		tr = append(tr, trace.Request{Time: uint64(i * 10), Addr: uint64(i * 32), Size: 32, Op: trace.Read})
+	}
+	return tr
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	res := Run(trace.NewReplayer(denseLinear(500)), Default(), 20)
+	for i := range res.Channels {
+		if res.Channels[i].Refreshes != 0 {
+			t.Fatal("refreshes recorded with refresh disabled")
+		}
+	}
+}
+
+func TestWithRefreshEnables(t *testing.T) {
+	cfg := Default().WithRefresh()
+	if cfg.TREFI == 0 || cfg.TRFC == 0 {
+		t.Fatalf("WithRefresh = %+v", cfg)
+	}
+}
+
+func TestRefreshCountMatchesSpan(t *testing.T) {
+	cfg := Default().WithRefresh()
+	res := Run(trace.NewReplayer(denseLinear(5000)), cfg, 20)
+	var total, span uint64
+	for i := range res.Channels {
+		total += res.Channels[i].Refreshes
+		if res.Channels[i].BusyUntil > span {
+			span = res.Channels[i].BusyUntil
+		}
+	}
+	if total == 0 {
+		t.Fatal("no refreshes over a long run")
+	}
+	// Each busy channel refreshes roughly once per TREFI.
+	upper := 4 * (span/cfg.TREFI + 1)
+	if total > upper {
+		t.Errorf("refreshes = %d, span/TREFI bound = %d", total, upper)
+	}
+}
+
+func TestRefreshIncreasesLatency(t *testing.T) {
+	tr := denseLinear(5000)
+	base := Run(trace.NewReplayer(tr.Clone()), Default(), 20)
+	ref := Run(trace.NewReplayer(tr.Clone()), Default().WithRefresh(), 20)
+	if ref.AvgLatency <= base.AvgLatency {
+		t.Errorf("refresh did not increase latency: %.1f vs %.1f", ref.AvgLatency, base.AvgLatency)
+	}
+}
+
+func TestRefreshClosesRows(t *testing.T) {
+	// Two hits to the same row, far enough apart that a refresh
+	// intervenes: the second access must be a miss even though the row
+	// would have stayed open.
+	cfg := Default()
+	cfg.Channels = 1
+	cfg.TREFI = 1000
+	cfg.TRFC = 100
+	tr := trace.Trace{
+		{Time: 0, Addr: 0, Size: 128, Op: trace.Read}, // keeps row open briefly
+		{Time: 2000, Addr: 256, Size: 32, Op: trace.Read},
+	}
+	res := Run(trace.NewReplayer(tr), cfg, 0)
+	var refreshes uint64
+	for i := range res.Channels {
+		refreshes += res.Channels[i].Refreshes
+	}
+	if refreshes == 0 {
+		t.Fatal("no refresh between the accesses")
+	}
+}

@@ -1,0 +1,199 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xbar"
+)
+
+// System is a multi-channel memory system fed by a trace.Source through a
+// crossbar interconnect (as in the paper's gem5 platform). Use Run to
+// simulate a whole source, or NewSystem plus Inject/Drain for finer
+// control.
+type System struct {
+	cfg      Config
+	xbar     *xbar.Crossbar
+	channels []*channel
+
+	reqs      []*reqState
+	totalLat  float64
+	nRequests uint64
+}
+
+// NewSystem creates a memory system with the given configuration and
+// base interconnect latency in cycles. The crossbar serialises traffic
+// per channel at the DRAM burst width per cycle.
+func NewSystem(cfg Config, xbarLatency uint64) *System {
+	s := &System{
+		cfg:  cfg,
+		xbar: xbar.New(cfg.Channels, xbarLatency, cfg.BurstBytes),
+	}
+	s.channels = make([]*channel, cfg.Channels)
+	for i := range s.channels {
+		s.channels[i] = newChannel(cfg, i)
+	}
+	return s
+}
+
+// Inject presents one request to the memory system. The returned delay is
+// the backpressure the request experienced beyond its arrival time; the
+// caller should feed it back to the source (trace.Source.Delay).
+func (s *System) Inject(r trace.Request) (delay uint64) {
+	port, _, _ := s.cfg.mapAddr((r.Addr / s.cfg.BurstBytes) * s.cfg.BurstBytes)
+	size := uint64(r.Size)
+	if size == 0 {
+		size = 1
+	}
+	arrival := s.xbar.Transfer(r.Time, port, size)
+	first := r.Addr / s.cfg.BurstBytes
+	last := (r.End() - 1) / s.cfg.BurstBytes
+	if r.Size == 0 {
+		last = first
+	}
+	rs := &reqState{inject: r.Time, remaining: int(last - first + 1)}
+	s.reqs = append(s.reqs, rs)
+	var worst uint64
+	for bi := first; bi <= last; bi++ {
+		addr := bi * s.cfg.BurstBytes
+		ch, bank, row := s.cfg.mapAddr(addr)
+		b := burst{bank: bank, row: row, write: r.Op == trace.Write, req: rs}
+		accepted := s.channels[ch].enqueue(b, arrival)
+		if accepted-arrival > worst {
+			worst = accepted - arrival
+		}
+	}
+	return worst
+}
+
+// Drain services every queued burst and finalises latency accounting.
+func (s *System) Drain() {
+	for _, c := range s.channels {
+		c.drain()
+	}
+	for _, r := range s.reqs {
+		s.totalLat += float64(r.done - r.inject)
+		s.nRequests++
+	}
+	s.reqs = s.reqs[:0]
+}
+
+// Channels returns the number of channels.
+func (s *System) Channels() int { return len(s.channels) }
+
+// ChannelStats returns the statistics of channel i.
+func (s *System) ChannelStats(i int) *ChannelStats { return &s.channels[i].stats }
+
+// Result aggregates system-wide metrics after Drain.
+type Result struct {
+	// Per-channel statistics in channel order.
+	Channels []ChannelStats
+	// AvgLatency is the mean request latency in cycles (injection to
+	// last-burst completion), the Fig. 13 metric.
+	AvgLatency float64
+	// Requests is the number of requests simulated.
+	Requests uint64
+}
+
+// Result snapshots the metrics. Call after Drain.
+func (s *System) Result() Result {
+	res := Result{Requests: s.nRequests}
+	if s.nRequests > 0 {
+		res.AvgLatency = s.totalLat / float64(s.nRequests)
+	}
+	res.Channels = make([]ChannelStats, len(s.channels))
+	for i, c := range s.channels {
+		res.Channels[i] = c.stats
+		res.Channels[i].BusyUntil = c.busFree
+		if c.cc != nil {
+			res.Channels[i].ChargeCache = ChargeCacheStats{Hits: c.cc.hits, Lookups: c.cc.lookups}
+		}
+	}
+	return res
+}
+
+// Run simulates an entire source against a fresh memory system and
+// returns the aggregated result. Backpressure is fed back to the source.
+func Run(src trace.Source, cfg Config, xbarLatency uint64) Result {
+	s := NewSystem(cfg, xbarLatency)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if d := s.Inject(r); d > 0 {
+			src.Delay(d)
+		}
+	}
+	s.Drain()
+	return s.Result()
+}
+
+// Aggregate metrics across channels.
+
+// ReadBursts returns the total read bursts across channels.
+func (r Result) ReadBursts() uint64 {
+	return r.sum(func(c *ChannelStats) uint64 { return c.ReadBursts })
+}
+
+// WriteBursts returns the total write bursts across channels.
+func (r Result) WriteBursts() uint64 {
+	return r.sum(func(c *ChannelStats) uint64 { return c.WriteBursts })
+}
+
+// ReadRowHits returns the total read row hits across channels.
+func (r Result) ReadRowHits() uint64 {
+	return r.sum(func(c *ChannelStats) uint64 { return c.ReadRowHits })
+}
+
+// WriteRowHits returns the total write row hits across channels.
+func (r Result) WriteRowHits() uint64 {
+	return r.sum(func(c *ChannelStats) uint64 { return c.WriteRowHits })
+}
+
+func (r Result) sum(f func(*ChannelStats) uint64) uint64 {
+	var n uint64
+	for i := range r.Channels {
+		n += f(&r.Channels[i])
+	}
+	return n
+}
+
+// AvgReadQueueLen returns the mean read-queue length observed by arriving
+// read bursts across all channels (Fig. 7).
+func (r Result) AvgReadQueueLen() float64 {
+	return r.meanHist(func(c *ChannelStats) *stats.Histogram { return c.ReadQLenSeen })
+}
+
+// AvgWriteQueueLen returns the mean write-queue length observed by
+// arriving write bursts across all channels (Fig. 7).
+func (r Result) AvgWriteQueueLen() float64 {
+	return r.meanHist(func(c *ChannelStats) *stats.Histogram { return c.WriteQLenSeen })
+}
+
+func (r Result) meanHist(pick func(*ChannelStats) *stats.Histogram) float64 {
+	var sum float64
+	var n uint64
+	for i := range r.Channels {
+		h := pick(&r.Channels[i])
+		sum += h.Mean() * float64(h.Total())
+		n += h.Total()
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AvgReadsPerTurnaround returns the mean number of reads serviced between
+// consecutive read-to-write switches on channel i (Fig. 11).
+func (r Result) AvgReadsPerTurnaround(i int) float64 {
+	return r.Channels[i].ReadsPerTurnaround.Mean()
+}
+
+// String summarises the result.
+func (r Result) String() string {
+	return fmt.Sprintf("dram.Result{reqs=%d rb=%d wb=%d rrh=%d wrh=%d lat=%.1f}",
+		r.Requests, r.ReadBursts(), r.WriteBursts(), r.ReadRowHits(), r.WriteRowHits(), r.AvgLatency)
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationSpatialStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunAblationSpatial()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Dynamic spatial partitioning must beat no spatial partitioning for
+	// most device classes (a single leaf per interval blurs the
+	// concurrent address streams), and must beat fixed 4-KB blocks for
+	// the VPU whose sparse sub-4KB motifs motivated the scheme (Fig. 2).
+	beatsNone := 0
+	for _, row := range tab.Rows {
+		dyn := parseF(t, row[1])
+		fixed := parseF(t, row[2])
+		none := parseF(t, row[3])
+		if dyn < none {
+			beatsNone++
+		}
+		if row[0] == "VPU" && dyn >= fixed {
+			t.Errorf("VPU: dynamic (%.2f) not better than fixed-4KB (%.2f)", dyn, fixed)
+		}
+	}
+	if beatsNone < 3 {
+		t.Errorf("dynamic beats no-spatial on only %d/4 devices", beatsNone)
+	}
+}
+
+func TestAblationOrderStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunAblationOrder()
+	if len(tab.Rows) != 4 || len(tab.Header) != 3 {
+		t.Fatalf("table shape: %d rows, %d cols", len(tab.Rows), len(tab.Header))
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			if v := parseF(t, cell); v < 0 || v > 100 {
+				t.Errorf("implausible error %v in %v", v, row)
+			}
+		}
+	}
+}
+
+func TestAblationPrivacyMonotoneTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunAblationPrivacy()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The strongest noise must hurt more than no noise, summed over all
+	// traces (individual rows can be noisy).
+	var clean, noisy float64
+	for _, row := range tab.Rows {
+		clean += privacyCell(t, row[1])
+		noisy += privacyCell(t, row[len(row)-1])
+	}
+	if noisy <= clean {
+		t.Errorf("strong noise total error %.1f not worse than no noise %.1f", noisy, clean)
+	}
+}
+
+// privacyCell parses "rowErr/latErr" and returns the sum.
+func privacyCell(t *testing.T, s string) float64 {
+	t.Helper()
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		t.Fatalf("bad cell %q", s)
+	}
+	a, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a + b
+}
+
+func TestChargeCacheStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunChargeCache()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		real := parseF(t, row[2])
+		clone := parseF(t, row[3])
+		// The clone's predicted improvement should be in the ballpark of
+		// the real trace's (within 3 percentage points).
+		if d := real - clone; d > 3 || d < -3 {
+			t.Errorf("%s: clone predicts %.2f%%, real %.2f%%", row[1], clone, real)
+		}
+	}
+}
+
+func TestRowHitErrorZeroForBaseline(t *testing.T) {
+	e := NewEnv()
+	base := e.Baseline("Crypto1")
+	if err := e.rowHitError("Crypto1", base); err != 0 {
+		t.Errorf("baseline vs itself error = %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+// All runs every experiment in paper order and returns the tables.
+func (e *Env) All() []*Table {
+	return []*Table{
+		e.RunFig2(),
+		e.RunFig3(),
+		e.RunTable1(),
+		e.RunTable2(),
+		e.RunTable3(),
+		e.RunFig6(),
+		e.RunFig7(),
+		e.RunFig8(),
+		e.RunFig9(),
+		e.RunFig10(),
+		e.RunFig11(),
+		e.RunFig12(),
+		e.RunFig13(),
+		e.RunFig14(),
+		e.RunFig15(),
+		e.RunFig16(),
+		e.RunFig17(),
+		e.RunAblationSpatial(),
+		e.RunAblationOrder(),
+		e.RunAblationPrivacy(),
+		e.RunChargeCache(),
+		e.RunCharacterization(),
+		e.RunAblationKOrder(),
+		e.RunEnergy(),
+		e.RunAblationPolicy(),
+		e.RunSoC(),
+	}
+}
+
+// Run executes the experiment with the given ID ("fig6", "table2", ...)
+// and returns its table, or nil when the ID is unknown.
+func (e *Env) Run(id string) *Table {
+	switch id {
+	case "fig2":
+		return e.RunFig2()
+	case "fig3":
+		return e.RunFig3()
+	case "table1":
+		return e.RunTable1()
+	case "table2":
+		return e.RunTable2()
+	case "table3":
+		return e.RunTable3()
+	case "fig6":
+		return e.RunFig6()
+	case "fig7":
+		return e.RunFig7()
+	case "fig8":
+		return e.RunFig8()
+	case "fig9":
+		return e.RunFig9()
+	case "fig10":
+		return e.RunFig10()
+	case "fig11":
+		return e.RunFig11()
+	case "fig12":
+		return e.RunFig12()
+	case "fig13":
+		return e.RunFig13()
+	case "fig14":
+		return e.RunFig14()
+	case "fig15":
+		return e.RunFig15()
+	case "fig16":
+		return e.RunFig16()
+	case "fig17":
+		return e.RunFig17()
+	case "ablation-spatial":
+		return e.RunAblationSpatial()
+	case "ablation-order":
+		return e.RunAblationOrder()
+	case "ablation-privacy":
+		return e.RunAblationPrivacy()
+	case "chargecache":
+		return e.RunChargeCache()
+	case "characterization":
+		return e.RunCharacterization()
+	case "ablation-korder":
+		return e.RunAblationKOrder()
+	case "energy":
+		return e.RunEnergy()
+	case "ablation-policy":
+		return e.RunAblationPolicy()
+	case "soc":
+		return e.RunSoC()
+	default:
+		return nil
+	}
+}
+
+// IDs lists every experiment ID: the paper's exhibits in paper order,
+// then the repository's extension studies (ablations, the §VI privacy
+// extension, and the §VI ChargeCache case study).
+func IDs() []string {
+	return []string{
+		"fig2", "fig3", "table1", "table2", "table3",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17",
+		"ablation-spatial", "ablation-order", "ablation-privacy", "chargecache",
+		"characterization", "ablation-korder", "energy", "ablation-policy", "soc",
+	}
+}

@@ -1,0 +1,172 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§III examples, §IV validation, §V CPU comparison). Each
+// RunX function regenerates the data behind one exhibit and returns it as
+// printable tables; the cmd/experiments binary and the repository's
+// benchmarks drive these functions.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/partition"
+	"repro/internal/profile"
+	"repro/internal/stm"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // e.g. "fig6"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Env caches traces, profiles and simulation results so that running all
+// the figures does not repeat work. Zero value is not usable; call NewEnv.
+type Env struct {
+	// DRAMCfg is the Table III memory configuration.
+	DRAMCfg dram.Config
+	// XbarLat is the interconnect latency in cycles.
+	XbarLat uint64
+	// Seed seeds every synthesis.
+	Seed uint64
+	// IntervalCycles is the 2L-TS temporal partition length.
+	IntervalCycles uint64
+
+	traces map[string]trace.Trace
+	base   map[string]dram.Result
+	mcc    map[string]dram.Result
+	stmRes map[string]dram.Result
+
+	specTraces map[string]trace.Trace
+	specDyn    map[string]trace.Trace
+	spec4K     map[string]trace.Trace
+	specHRD    map[string]trace.Trace
+}
+
+// NewEnv returns an environment with the paper's defaults.
+func NewEnv() *Env {
+	return &Env{
+		DRAMCfg:        dram.Default(),
+		XbarLat:        20,
+		Seed:           42,
+		IntervalCycles: 500000,
+		traces:         make(map[string]trace.Trace),
+		base:           make(map[string]dram.Result),
+		mcc:            make(map[string]dram.Result),
+		stmRes:         make(map[string]dram.Result),
+		specTraces:     make(map[string]trace.Trace),
+		specDyn:        make(map[string]trace.Trace),
+		spec4K:         make(map[string]trace.Trace),
+		specHRD:        make(map[string]trace.Trace),
+	}
+}
+
+// Trace returns (generating and caching) the named Table II proxy trace.
+func (e *Env) Trace(name string) trace.Trace {
+	if t, ok := e.traces[name]; ok {
+		return t
+	}
+	s, err := workloads.Find(name)
+	if err != nil {
+		panic(err)
+	}
+	t := s.Gen()
+	e.traces[name] = t
+	return t
+}
+
+// Baseline simulates the original trace through the memory system.
+func (e *Env) Baseline(name string) dram.Result {
+	if r, ok := e.base[name]; ok {
+		return r
+	}
+	r := dram.Run(trace.NewReplayer(e.Trace(name)), e.DRAMCfg, e.XbarLat)
+	e.base[name] = r
+	return r
+}
+
+// McC simulates the Mocktails 2L-TS (McC) recreation of the trace.
+func (e *Env) McC(name string) dram.Result {
+	if r, ok := e.mcc[name]; ok {
+		return r
+	}
+	p, err := core.Build(name, e.Trace(name), partition.TwoLevelTS(e.IntervalCycles))
+	if err != nil {
+		panic(err)
+	}
+	r := dram.Run(core.Synthesize(p, e.Seed), e.DRAMCfg, e.XbarLat)
+	e.mcc[name] = r
+	return r
+}
+
+// STM simulates the 2L-TS (STM) baseline recreation of the trace.
+func (e *Env) STM(name string) dram.Result {
+	if r, ok := e.stmRes[name]; ok {
+		return r
+	}
+	p, err := stm.Build(name, e.Trace(name), partition.TwoLevelTS(e.IntervalCycles))
+	if err != nil {
+		panic(err)
+	}
+	r := dram.Run(stm.Synthesize(p, e.Seed), e.DRAMCfg, e.XbarLat)
+	e.stmRes[name] = r
+	return r
+}
+
+// Profile builds (uncached) the Mocktails profile of a Table II trace.
+func (e *Env) Profile(name string) *profile.Profile {
+	p, err := core.Build(name, e.Trace(name), partition.TwoLevelTS(e.IntervalCycles))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// f formats a float with the given decimals.
+func f(v float64, dec int) string { return fmt.Sprintf("%.*f", dec, v) }
+
+// u formats an unsigned count.
+func u(v uint64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{
+		ID:     "t",
+		Title:  "title",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== t: title ==", "a", "bbbb", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIDsAndRunAgree(t *testing.T) {
+	e := NewEnv()
+	if e.Run("nonsense") != nil {
+		t.Error("unknown id returned a table")
+	}
+	if len(IDs()) != 26 {
+		t.Errorf("IDs() has %d entries, want 26", len(IDs()))
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	e := NewEnv()
+	a := e.Trace("Crypto1")
+	b := e.Trace("Crypto1")
+	if &a[0] != &b[0] {
+		t.Error("trace not cached")
+	}
+	r1 := e.Baseline("Crypto1")
+	r2 := e.Baseline("Crypto1")
+	if r1.Requests != r2.Requests {
+		t.Error("baseline result changed between calls")
+	}
+}
+
+func TestFig2Structure(t *testing.T) {
+	tab := NewEnv().RunFig2()
+	if tab.ID != "fig2" || len(tab.Rows) == 0 {
+		t.Fatalf("fig2 = %+v", tab)
+	}
+	// Offsets must lie within the 4KB region.
+	for _, row := range tab.Rows {
+		off, err := strconv.Atoi(row[1])
+		if err != nil || off < 0 || off >= 4096 {
+			t.Errorf("bad byte offset %q", row[1])
+		}
+	}
+}
+
+func TestFig3ShowsIdleBins(t *testing.T) {
+	tab := NewEnv().RunFig3()
+	if len(tab.Rows) < 5 {
+		t.Fatalf("fig3 has %d bins", len(tab.Rows))
+	}
+	empty := 0
+	for _, row := range tab.Rows {
+		if row[1] == "0" {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Error("no idle bins: HEVC should have long gaps (Fig. 3)")
+	}
+}
+
+func TestTable1ShowsDeterminismGain(t *testing.T) {
+	tab := NewEnv().RunTable1()
+	if len(tab.Rows) == 0 || len(tab.Notes) == 0 {
+		t.Fatalf("table1 = %+v", tab)
+	}
+}
+
+func TestTable2ListsAllTraces(t *testing.T) {
+	tab := NewEnv().RunTable2()
+	if len(tab.Rows) != 18 {
+		t.Errorf("table2 has %d rows", len(tab.Rows))
+	}
+}
+
+func TestTable3MatchesConfig(t *testing.T) {
+	tab := NewEnv().RunTable3()
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	for _, want := range []string{"4", "1 & 8", "32 bytes", "32 & 64 bursts", "85% & 50%"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table3 missing %q", want)
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// TestPaperClaimsSection4 checks the paper's headline quantitative claims
+// on the §IV experiments: McC burst errors are low, McC row-hit errors
+// beat the paper's bounds in geometric mean, and McC beats STM on row
+// hits.
+func TestPaperClaimsSection4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("section IV battery is slow")
+	}
+	e := NewEnv()
+
+	fig6 := e.RunFig6()
+	for _, row := range fig6.Rows {
+		dev := row[0]
+		if rb := parseF(t, row[1]); rb > 8 {
+			t.Errorf("fig6 %s: McC read-burst error %.2f%% > 8%%", dev, rb)
+		}
+		if wb := parseF(t, row[3]); wb > 8 {
+			t.Errorf("fig6 %s: McC write-burst error %.2f%% > 8%%", dev, wb)
+		}
+	}
+
+	fig9 := e.RunFig9()
+	for _, row := range fig9.Rows {
+		dev := row[0]
+		rhM, rhS := parseF(t, row[1]), parseF(t, row[2])
+		whM := parseF(t, row[3])
+		if rhM > 7.5 {
+			t.Errorf("fig9 %s: McC read-row-hit error %.2f%% exceeds the paper's 7.3%% bound", dev, rhM)
+		}
+		if whM > 7.5 {
+			t.Errorf("fig9 %s: McC write-row-hit error %.2f%%", dev, whM)
+		}
+		_ = rhS
+	}
+
+	// Aggregate McC-vs-STM comparison: McC should win on row hits
+	// overall (the paper's Fig. 9 conclusion).
+	var mccSum, stmSum float64
+	for _, row := range fig9.Rows {
+		mccSum += parseF(t, row[1]) + parseF(t, row[3])
+		stmSum += parseF(t, row[2]) + parseF(t, row[4])
+	}
+	if mccSum >= stmSum {
+		t.Errorf("McC row-hit error total %.2f not better than STM %.2f", mccSum, stmSum)
+	}
+}
+
+func TestFig7QueueLengthsPlausible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	e := NewEnv()
+	tab := e.RunFig7()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig7 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		base := parseF(t, row[4])
+		mcc := parseF(t, row[5])
+		if base < 0 || mcc < 0 {
+			t.Errorf("negative queue length in %v", row)
+		}
+	}
+	// GPUs have the longest write queues of all devices (paper: "GPU
+	// workloads have longer average queue lengths").
+	var gpuW, cpuW float64
+	for _, row := range tab.Rows {
+		if row[0] == "GPU" {
+			gpuW = parseF(t, row[4])
+		}
+		if row[0] == "CPU" {
+			cpuW = parseF(t, row[4])
+		}
+	}
+	if gpuW <= cpuW {
+		t.Errorf("GPU write queue (%.1f) not longer than CPU (%.1f)", gpuW, cpuW)
+	}
+}
+
+func TestFig8DistributionsClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunFig8()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig8 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if d := parseF(t, row[4]); d > 1.0 {
+			t.Errorf("channel %s: McC write-queue distribution L1 distance %.3f > 1.0", row[0], d)
+		}
+	}
+}
+
+func TestFig10LinearBeatsTiled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunFig10()
+	// Row hit counts: linear read hits > tiled read hits in baseline,
+	// and McC preserves the ordering.
+	var linBase, tilBase, linMcC, tilMcC float64
+	for _, row := range tab.Rows {
+		if row[1] != "read row hits" {
+			continue
+		}
+		switch row[0] {
+		case "FBC-Linear1":
+			linBase, linMcC = parseF(t, row[2]), parseF(t, row[3])
+		case "FBC-Tiled1":
+			tilBase, tilMcC = parseF(t, row[2]), parseF(t, row[3])
+		}
+	}
+	if linBase <= tilBase {
+		t.Errorf("baseline: linear (%v) not more row hits than tiled (%v)", linBase, tilBase)
+	}
+	if linMcC <= tilMcC {
+		t.Errorf("McC: linear (%v) not more row hits than tiled (%v)", linMcC, tilMcC)
+	}
+}
+
+func TestFig12WriteFreeBanksPreserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunFig12()
+	if len(tab.Rows) != 32 {
+		t.Fatalf("fig12 rows = %d, want 32 (4ch x 8banks)", len(tab.Rows))
+	}
+	baseQuiet, mccQuiet := 0, 0
+	for _, row := range tab.Rows {
+		if row[5] == "0" {
+			baseQuiet++
+		}
+		if row[6] == "0" {
+			mccQuiet++
+		}
+	}
+	if baseQuiet == 0 {
+		t.Error("baseline writes reach every bank; Fig. 12b expects write-free banks")
+	}
+	if mccQuiet == 0 {
+		t.Error("McC clone writes reach every bank")
+	}
+}

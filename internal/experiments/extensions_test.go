@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestCharacterizationTable(t *testing.T) {
+	tab := NewEnv().RunCharacterization()
+	if len(tab.Rows) != 18 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Device-class sanity: the VPU is the most read-light (writes
+	// dominate decode output) and the DPU is read-heavy (display
+	// refresh).
+	shares := map[string]float64{}
+	for _, row := range tab.Rows {
+		shares[row[0]] = parseF(t, row[3])
+	}
+	if shares["HEVC1"] >= shares["FBC-Linear1"] {
+		t.Errorf("HEVC read share %.0f not below FBC %.0f", shares["HEVC1"], shares["FBC-Linear1"])
+	}
+}
+
+func TestKOrderAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunAblationKOrder()
+	if len(tab.Rows) != 4 || len(tab.Header) != 5 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Header))
+	}
+	// The periodic tiled scan must improve (or at worst stay equal)
+	// from k=1 to k=4.
+	for _, row := range tab.Rows {
+		if row[0] != "FBC-Tiled1" {
+			continue
+		}
+		k1, k4 := parseF(t, row[1]), parseF(t, row[4])
+		if k4 > k1 {
+			t.Errorf("FBC-Tiled1: k=4 error %.2f worse than k=1 %.2f", k4, k1)
+		}
+	}
+}
+
+func TestEnergyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunEnergy()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if e := parseF(t, row[6]); e > 5 {
+			t.Errorf("%s: clone energy error %.2f%% > 5%%", row[1], e)
+		}
+		if v := parseF(t, row[2]); v <= 0 {
+			t.Errorf("%s: non-positive energy", row[1])
+		}
+	}
+}
+
+func TestPolicyAblationPreservesRanking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunAblationPolicy()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// For every benchmark, LRU <= FIFO in both baseline and clone
+	// (these workloads have recency-friendly reuse).
+	byBench := map[string]map[string][2]float64{}
+	for _, row := range tab.Rows {
+		if byBench[row[0]] == nil {
+			byBench[row[0]] = map[string][2]float64{}
+		}
+		byBench[row[0]][row[1]] = [2]float64{parseF(t, row[2]), parseF(t, row[3])}
+	}
+	for bench, pol := range byBench {
+		for i, label := range []string{"baseline", "clone"} {
+			if pol["LRU"][i] > pol["FIFO"][i] {
+				t.Errorf("%s %s: LRU %.2f worse than FIFO %.2f", bench, label, pol["LRU"][i], pol["FIFO"][i])
+			}
+		}
+	}
+}
+
+func TestSoCExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunSoC()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if e := parseF(t, row[3]); e > 15 {
+			t.Errorf("SoC metric %s error %.2f%% > 15%%", row[0], e)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestRunCacheBasics(t *testing.T) {
+	e := NewEnv()
+	tr := e.SpecTrace("hmmer")[:20000]
+	r := RunCache(tr, cache.Default64(16<<10, 2))
+	if r.L1.Accesses == 0 || r.Footprint == 0 {
+		t.Fatalf("empty cache run: %+v", r)
+	}
+	if r.L1.Misses == 0 {
+		t.Error("no L1 misses at all")
+	}
+	if r.L2.Accesses == 0 {
+		t.Error("L2 never accessed")
+	}
+}
+
+// TestPaperClaimsSection5 checks the §V headline: Mocktails (Dynamic)
+// tracks baseline cache metrics more closely than Mocktails (4KB) and
+// HRD, and the three Fig. 15 associativity trends survive cloning.
+func TestPaperClaimsSection5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("section V battery is slow")
+	}
+	e := NewEnv()
+	get := func(tab *Table, bench string, assoc string, col int) float64 {
+		t.Helper()
+		for _, row := range tab.Rows {
+			if row[0] == bench && row[1] == assoc {
+				v, err := strconv.ParseFloat(row[col], 64)
+				if err != nil {
+					t.Fatalf("parse %q: %v", row[col], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %s/%s not found", bench, assoc)
+		return 0
+	}
+	fig15 := e.RunFig15()
+
+	// Trend checks on the baseline.
+	if !(get(fig15, "gobmk", "2", 2) > get(fig15, "gobmk", "16", 2)) {
+		t.Error("baseline gobmk miss rate does not fall with associativity")
+	}
+	lqLo, lqHi := get(fig15, "libquantum", "2", 2), get(fig15, "libquantum", "16", 2)
+	if lqLo != lqHi {
+		t.Errorf("baseline libquantum not flat: %.2f vs %.2f", lqLo, lqHi)
+	}
+	if !(get(fig15, "zeusmp", "2", 2) < get(fig15, "zeusmp", "16", 2)) {
+		t.Error("baseline zeusmp miss rate does not rise with associativity")
+	}
+
+	// Mocktails (Dynamic) preserves all three trends.
+	if !(get(fig15, "gobmk", "2", 3) > get(fig15, "gobmk", "16", 3)) {
+		t.Error("Mocktails gobmk trend lost")
+	}
+	if d := get(fig15, "libquantum", "2", 3) - get(fig15, "libquantum", "16", 3); d < -0.5 || d > 0.5 {
+		t.Errorf("Mocktails libquantum not flat: delta %.2f", d)
+	}
+	if !(get(fig15, "zeusmp", "2", 3) < get(fig15, "zeusmp", "16", 3)) {
+		t.Error("Mocktails zeusmp trend lost")
+	}
+
+	// Per-point accuracy: Mocktails stays within 3 points of baseline.
+	for _, row := range fig15.Rows {
+		base, _ := strconv.ParseFloat(row[2], 64)
+		mock, _ := strconv.ParseFloat(row[3], 64)
+		if diff := mock - base; diff > 3 || diff < -3 {
+			t.Errorf("fig15 %s assoc %s: Mocktails %.2f vs baseline %.2f", row[0], row[1], mock, base)
+		}
+	}
+}
+
+func TestFig14DynamicBeatsAlternatives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	e := NewEnv()
+	tab := e.RunFig14()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig14 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		base, _ := strconv.ParseFloat(row[2], 64)
+		dyn, _ := strconv.ParseFloat(row[3], 64)
+		fix, _ := strconv.ParseFloat(row[4], 64)
+		hrd, _ := strconv.ParseFloat(row[5], 64)
+		errDyn := abs(dyn - base)
+		errFix := abs(fix - base)
+		errHRD := abs(hrd - base)
+		if errDyn > errFix+0.25 {
+			t.Errorf("%s %s: Dynamic error %.2f worse than 4KB %.2f", row[0], row[1], errDyn, errFix)
+		}
+		if errDyn > errHRD+0.25 {
+			t.Errorf("%s %s: Dynamic error %.2f worse than HRD %.2f", row[0], row[1], errDyn, errHRD)
+		}
+	}
+}
+
+func TestFig17ProfilesSmallerThanTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := NewEnv().RunFig17()
+	if len(tab.Rows) != 23 {
+		t.Fatalf("fig17 rows = %d", len(tab.Rows))
+	}
+	smaller := 0
+	for _, row := range tab.Rows {
+		traceKB, _ := strconv.Atoi(row[1])
+		dynKB, _ := strconv.Atoi(row[2])
+		if dynKB < traceKB {
+			smaller++
+		}
+	}
+	if smaller < 18 {
+		t.Errorf("only %d/23 profiles smaller than their traces", smaller)
+	}
+	if len(tab.Notes) == 0 || !strings.Contains(tab.Notes[0], "smaller") {
+		t.Error("missing overall reduction note")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

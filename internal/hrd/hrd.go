@@ -1,0 +1,416 @@
+// Package hrd implements the HRD baseline (Maeda et al., "Fast and
+// Accurate Exploration of Multi-level Caches Using Hierarchical Reuse
+// Distance", HPCA 2017) used in the paper's §V comparison. HRD models a
+// workload with reuse-distance histograms at two block granularities —
+// 64 B first and, for cold 64-B misses, 4 KB — plus a multi-state
+// operation model with explicit clean/dirty states. Matching the original
+// work (and the paper's §V methodology), HRD does not divide requests into
+// temporal phases.
+package hrd
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fine and Coarse are the two modelling granularities.
+const (
+	Fine   = 64
+	Coarse = 4096
+)
+
+// Model is a fitted HRD profile.
+type Model struct {
+	// Requests is the number of requests to synthesise.
+	Requests int
+	// Dist64 histograms reuse distances at 64-B granularity; Cold64
+	// counts first-touch accesses that fall through to the 4-KB level.
+	Dist64 map[int]uint32
+	Cold64 uint32
+	// Dist4K histograms reuse distances at 4-KB granularity for the
+	// cold 64-B accesses; Cold4K counts first touches of new regions.
+	Dist4K map[int]uint32
+	Cold4K uint32
+	// Regions lists the 4-KB region numbers in first-touch order;
+	// synthesis replays them so that set-index structure (and with it
+	// conflict behaviour) survives the model.
+	Regions []uint64
+	// Op model: writes and accesses conditioned on the block's state
+	// (clean or dirty at 64-B granularity).
+	CleanWrites, CleanAccesses uint32
+	DirtyWrites, DirtyAccesses uint32
+	// Sizes is the global request-size histogram (drawn i.i.d.).
+	Sizes map[uint32]uint32
+}
+
+// Fit builds an HRD model from a trace. Only the request order matters;
+// timestamps are ignored (atomic-mode methodology).
+func Fit(t trace.Trace) *Model {
+	m := &Model{
+		Requests: len(t),
+		Dist64:   make(map[int]uint32),
+		Dist4K:   make(map[int]uint32),
+		Sizes:    make(map[uint32]uint32),
+	}
+	fine := newDistanceTracker(len(t))
+	coarse := newDistanceTracker(len(t))
+	dirty := make(map[uint64]bool)
+	for _, r := range t {
+		m.Sizes[r.Size]++
+		b64 := r.Addr / Fine
+		b4k := r.Addr / Coarse
+		// The coarse level models only the accesses that are cold at the
+		// fine level, exactly mirroring how synthesis replays it.
+		d := fine.access(b64)
+		if d >= 0 {
+			m.Dist64[d]++
+		} else {
+			m.Cold64++
+			d2 := coarse.access(b4k)
+			if d2 >= 0 {
+				m.Dist4K[d2]++
+			} else {
+				m.Cold4K++
+				m.Regions = append(m.Regions, b4k)
+			}
+		}
+		if dirty[b64] {
+			m.DirtyAccesses++
+			if r.Op == trace.Write {
+				m.DirtyWrites++
+			}
+		} else {
+			m.CleanAccesses++
+			if r.Op == trace.Write {
+				m.CleanWrites++
+			}
+		}
+		if r.Op == trace.Write {
+			dirty[b64] = true
+		}
+	}
+	return m
+}
+
+// distanceTracker computes LRU stack (reuse) distances in O(log n) per
+// access with a Fenwick tree over access positions (the classic
+// Bennett–Kruskal algorithm). access returns the number of distinct
+// blocks touched since the block's previous access, or -1 on first touch.
+type distanceTracker struct {
+	bit     []int
+	vals    []int // point values, kept so growth can rebuild the tree
+	lastPos map[uint64]int
+	pos     int
+}
+
+func newDistanceTracker(capHint int) *distanceTracker {
+	if capHint < 16 {
+		capHint = 16
+	}
+	return &distanceTracker{
+		bit:     make([]int, capHint+2),
+		vals:    make([]int, capHint+2),
+		lastPos: make(map[uint64]int, capHint/4+1),
+	}
+}
+
+// grow rebuilds the Fenwick tree at double capacity. A plain copy would
+// be wrong: updates near the old boundary never propagated to ancestor
+// indices that did not exist yet.
+func (dt *distanceTracker) grow(n int) {
+	if n < len(dt.bit) {
+		return
+	}
+	size := len(dt.bit) * 2
+	for size <= n {
+		size *= 2
+	}
+	dt.bit = make([]int, size)
+	nv := make([]int, size)
+	copy(nv, dt.vals)
+	dt.vals = nv
+	for i, v := range dt.vals {
+		if v != 0 {
+			dt.addRaw(i, v)
+		}
+	}
+}
+
+func (dt *distanceTracker) addRaw(i, v int) {
+	for ; i < len(dt.bit); i += i & (-i) {
+		dt.bit[i] += v
+	}
+}
+
+func (dt *distanceTracker) add(i, v int) {
+	dt.vals[i] += v
+	dt.addRaw(i, v)
+}
+
+func (dt *distanceTracker) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += dt.bit[i]
+	}
+	return s
+}
+
+func (dt *distanceTracker) access(block uint64) int {
+	dt.pos++
+	dt.grow(dt.pos + 1)
+	last, seen := dt.lastPos[block]
+	dist := -1
+	if seen {
+		dist = dt.sum(dt.pos-1) - dt.sum(last)
+		dt.add(last, -1)
+	}
+	dt.add(dt.pos, 1)
+	dt.lastPos[block] = dt.pos
+	return dist
+}
+
+// Synthesize regenerates a trace of m.Requests requests. Reuse distances
+// are drawn with strict convergence (histogram counts are consumed), the
+// LRU stacks are replayed in reverse, and operations follow the
+// clean/dirty state model.
+func Synthesize(m *Model, seed uint64) trace.Trace {
+	rng := stats.NewRNG(seed)
+	g := &generator{
+		m:       m,
+		rng:     rng,
+		d64:     newDrawer(m.Dist64, m.Cold64, rng.Fork()),
+		d4k:     newDrawer(m.Dist4K, m.Cold4K, rng.Fork()),
+		sizes:   newSizeDrawer(m.Sizes, rng.Fork()),
+		stack64: newLRUStack(rng.Uint64()),
+		stack4k: newLRUStack(rng.Uint64()),
+		used:    make(map[uint64]uint64),
+		dirty:   make(map[uint64]bool),
+		cw:      m.CleanWrites,
+		ca:      m.CleanAccesses,
+		dw:      m.DirtyWrites,
+		da:      m.DirtyAccesses,
+	}
+	for _, r := range m.Regions {
+		if r >= g.nextReg {
+			g.nextReg = r + 1
+		}
+	}
+	out := make(trace.Trace, 0, m.Requests)
+	for i := 0; i < m.Requests; i++ {
+		out = append(out, g.next(uint64(i)))
+	}
+	return out
+}
+
+type generator struct {
+	m     *Model
+	rng   *stats.RNG
+	d64   *drawer
+	d4k   *drawer
+	sizes *sizeDrawer
+
+	stack64   *lruStack
+	stack4k   *lruStack
+	used      map[uint64]uint64 // region -> next unused 64B slot index
+	regionIdx int               // next training region to replay
+	nextReg   uint64            // fresh regions past the training footprint
+	dirty     map[uint64]bool
+
+	cw, ca, dw, da uint32
+}
+
+func (g *generator) next(t uint64) trace.Request {
+	var block uint64
+	if d, cold := g.d64.draw(); !cold {
+		block = g.stack64.promote(d)
+	} else {
+		var region uint64
+		if d2, cold2 := g.d4k.draw(); !cold2 {
+			region = g.stack4k.promote(d2)
+		} else {
+			region = g.coldRegion()
+			g.stack4k.insertFront(region)
+		}
+		block = g.newBlockIn(region)
+		g.stack64.insertFront(block)
+	}
+
+	op := g.nextOp(block)
+	if op == trace.Write {
+		g.dirty[block] = true
+	}
+	return trace.Request{Time: t, Addr: block * Fine, Size: g.sizes.draw(), Op: op}
+}
+
+// coldRegion returns the next never-touched region: first the training
+// trace's regions in first-touch order (preserving set-index structure),
+// then fresh sequential regions past the training footprint.
+func (g *generator) coldRegion() uint64 {
+	if g.regionIdx < len(g.m.Regions) {
+		r := g.m.Regions[g.regionIdx]
+		g.regionIdx++
+		return r
+	}
+	r := g.nextReg
+	g.nextReg++
+	return r
+}
+
+// newBlockIn returns an untouched 64-B block inside the region,
+// allocating sequentially. A cold draw must always yield a miss, so when
+// the region is exhausted the allocation spills to a fresh region instead
+// of reusing a (warm) block.
+func (g *generator) newBlockIn(region uint64) uint64 {
+	slots := uint64(Coarse / Fine)
+	idx := g.used[region]
+	if idx >= slots {
+		region = g.coldRegion()
+		g.stack4k.insertFront(region)
+		idx = g.used[region]
+		if idx >= slots {
+			// Every training region is exhausted too: overflow space.
+			region = g.nextReg
+			g.nextReg++
+			g.stack4k.insertFront(region)
+			idx = 0
+		}
+	}
+	g.used[region] = idx + 1
+	return region*slots + idx
+}
+
+// nextOp draws the operation from the clean/dirty state model. The
+// per-state counters bias the order (a dirty block is written with the
+// dirty-state probability), while the global read/write pools enforce the
+// exact operation totals of the training trace — the strict-convergence
+// guarantee the §IV methodology relies on.
+func (g *generator) nextOp(block uint64) trace.Op {
+	readsLeft := uint64(g.ca+g.da) - uint64(g.cw+g.dw)
+	writesLeft := uint64(g.cw + g.dw)
+	writes, accesses := &g.cw, &g.ca
+	if g.dirty[block] {
+		writes, accesses = &g.dw, &g.da
+	}
+	isWrite := false
+	if *accesses > 0 {
+		isWrite = g.rng.Uint64n(uint64(*accesses)) < uint64(*writes)
+	}
+	if isWrite && writesLeft == 0 {
+		isWrite = false
+	}
+	if !isWrite && readsLeft == 0 {
+		isWrite = true
+	}
+	if isWrite {
+		// Consume a write from this state's pool, or borrow from the
+		// other state when this one is spent.
+		if *writes > 0 {
+			*writes--
+			*accesses--
+		} else if g.dirty[block] && g.cw > 0 {
+			g.cw--
+			g.ca--
+		} else if !g.dirty[block] && g.dw > 0 {
+			g.dw--
+			g.da--
+		}
+		return trace.Write
+	}
+	// Consume a read (an access that is not a write) from this state's
+	// pool, borrowing like above when it has no reads left.
+	if *accesses > *writes {
+		*accesses--
+	} else if g.dirty[block] && g.ca > g.cw {
+		g.ca--
+	} else if !g.dirty[block] && g.da > g.dw {
+		g.da--
+	}
+	return trace.Read
+}
+
+// drawer draws reuse distances with strict convergence; the cold count is
+// one more bucket.
+type drawer struct {
+	dists  []int
+	counts []uint32
+	cold   uint32
+	total  uint64
+	rng    *stats.RNG
+}
+
+func newDrawer(hist map[int]uint32, cold uint32, rng *stats.RNG) *drawer {
+	d := &drawer{cold: cold, rng: rng}
+	d.dists = make([]int, 0, len(hist))
+	for k := range hist {
+		d.dists = append(d.dists, k)
+	}
+	sort.Ints(d.dists)
+	d.counts = make([]uint32, len(d.dists))
+	for i, k := range d.dists {
+		d.counts[i] = hist[k]
+		d.total += uint64(hist[k])
+	}
+	d.total += uint64(cold)
+	return d
+}
+
+// draw returns (distance, false) or (0, true) for a cold access.
+func (d *drawer) draw() (int, bool) {
+	if d.total == 0 {
+		return 0, true
+	}
+	pick := d.rng.Uint64n(d.total)
+	for i := range d.counts {
+		if pick < uint64(d.counts[i]) {
+			d.counts[i]--
+			d.total--
+			return d.dists[i], false
+		}
+		pick -= uint64(d.counts[i])
+	}
+	if d.cold > 0 {
+		d.cold--
+	}
+	d.total--
+	return 0, true
+}
+
+type sizeDrawer struct {
+	sizes  []uint32
+	counts []uint32
+	total  uint64
+	rng    *stats.RNG
+}
+
+func newSizeDrawer(hist map[uint32]uint32, rng *stats.RNG) *sizeDrawer {
+	d := &sizeDrawer{rng: rng}
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		d.sizes = append(d.sizes, uint32(k))
+		d.counts = append(d.counts, hist[uint32(k)])
+		d.total += uint64(hist[uint32(k)])
+	}
+	return d
+}
+
+func (d *sizeDrawer) draw() uint32 {
+	if d.total == 0 {
+		return Fine
+	}
+	pick := d.rng.Uint64n(d.total)
+	for i := range d.counts {
+		if pick < uint64(d.counts[i]) {
+			d.counts[i]--
+			d.total--
+			return d.sizes[i]
+		}
+		pick -= uint64(d.counts[i])
+	}
+	return d.sizes[len(d.sizes)-1]
+}

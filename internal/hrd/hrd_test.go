@@ -1,0 +1,254 @@
+package hrd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func workload(seed uint64, n int) trace.Trace {
+	rng := stats.NewRNG(seed)
+	var tr trace.Trace
+	for i := 0; i < n; i++ {
+		op := trace.Read
+		if rng.Bool(0.3) {
+			op = trace.Write
+		}
+		var addr uint64
+		if rng.Bool(0.6) {
+			addr = rng.Uint64n(64) * 64 // hot 4KB of blocks
+		} else {
+			addr = 1<<20 + uint64(i)*64 // cold stream
+		}
+		tr = append(tr, trace.Request{Time: uint64(i), Addr: addr, Size: 8, Op: op})
+	}
+	return tr
+}
+
+// naiveDistance computes LRU stack distance with an explicit list, as a
+// reference for the Fenwick-tree tracker.
+type naiveDistance struct {
+	stack []uint64
+}
+
+func (n *naiveDistance) access(b uint64) int {
+	for i, x := range n.stack {
+		if x == b {
+			n.stack = append(n.stack[:i], n.stack[i+1:]...)
+			n.stack = append([]uint64{b}, n.stack...)
+			return i
+		}
+	}
+	n.stack = append([]uint64{b}, n.stack...)
+	return -1
+}
+
+func TestDistanceTrackerMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(1)
+	dt := newDistanceTracker(0)
+	var ref naiveDistance
+	for i := 0; i < 5000; i++ {
+		b := rng.Uint64n(200)
+		got := dt.access(b)
+		want := ref.access(b)
+		if got != want {
+			t.Fatalf("access %d (block %d): got %d, want %d", i, b, got, want)
+		}
+	}
+}
+
+func TestDistanceTrackerColdThenReuse(t *testing.T) {
+	dt := newDistanceTracker(0)
+	if d := dt.access(5); d != -1 {
+		t.Errorf("first access distance = %d", d)
+	}
+	if d := dt.access(5); d != 0 {
+		t.Errorf("immediate reuse distance = %d", d)
+	}
+	dt.access(6)
+	dt.access(7)
+	if d := dt.access(5); d != 2 {
+		t.Errorf("reuse after 2 distinct = %d", d)
+	}
+}
+
+func TestFitBasics(t *testing.T) {
+	tr := workload(1, 5000)
+	m := Fit(tr)
+	if m.Requests != len(tr) {
+		t.Errorf("Requests = %d", m.Requests)
+	}
+	var distTotal uint64
+	for _, n := range m.Dist64 {
+		distTotal += uint64(n)
+	}
+	if distTotal+uint64(m.Cold64) != uint64(len(tr)) {
+		t.Errorf("Dist64 total %d + cold %d != %d", distTotal, m.Cold64, len(tr))
+	}
+	if m.CleanAccesses+m.DirtyAccesses != uint32(len(tr)) {
+		t.Error("op-state accesses don't sum to trace length")
+	}
+	if len(m.Regions) == 0 {
+		t.Error("no first-touch regions recorded")
+	}
+}
+
+func TestFitRegionsMatchFootprint(t *testing.T) {
+	tr := workload(2, 3000)
+	m := Fit(tr)
+	if len(m.Regions) != tr.Footprint(Coarse) {
+		t.Errorf("Regions = %d, footprint = %d", len(m.Regions), tr.Footprint(Coarse))
+	}
+	if int(m.Cold4K) != len(m.Regions) {
+		t.Errorf("Cold4K = %d, want %d", m.Cold4K, len(m.Regions))
+	}
+}
+
+func TestSynthesizeLengthAndDeterminism(t *testing.T) {
+	tr := workload(3, 4000)
+	m := Fit(tr)
+	a := Synthesize(m, 9)
+	b := Synthesize(m, 9)
+	if len(a) != len(tr) {
+		t.Fatalf("synthesised %d, want %d", len(a), len(tr))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSynthesizeExactOpCounts(t *testing.T) {
+	tr := workload(4, 4000)
+	wantR, wantW := tr.Counts()
+	got := Synthesize(Fit(tr), 11)
+	gotR, gotW := got.Counts()
+	if gotR != wantR || gotW != wantW {
+		t.Errorf("ops %d/%d, want %d/%d", gotR, gotW, wantR, wantW)
+	}
+}
+
+func TestSynthesizePreservesColdMissCount(t *testing.T) {
+	// Every cold draw must yield a never-touched block, so the 64-B
+	// footprint of the synthetic trace equals the original's.
+	tr := workload(5, 4000)
+	m := Fit(tr)
+	syn := Synthesize(m, 13)
+	if got, want := syn.Footprint(Fine), tr.Footprint(Fine); got != want {
+		t.Errorf("synthetic footprint %d, want %d", got, want)
+	}
+}
+
+func TestSynthesizeSizesMultisetPreserved(t *testing.T) {
+	tr := workload(6, 2000)
+	m := Fit(tr)
+	syn := Synthesize(m, 15)
+	count := func(t trace.Trace) map[uint32]int {
+		c := make(map[uint32]int)
+		for _, r := range t {
+			c[r.Size]++
+		}
+		return c
+	}
+	a, b := count(tr), count(syn)
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("size %d: %d vs %d", k, b[k], v)
+		}
+	}
+}
+
+func TestStreamingWorkloadMissRatePreserved(t *testing.T) {
+	// A pure streaming workload's miss behaviour is fully described by
+	// reuse distances, so HRD must reproduce the 64-B footprint and the
+	// cold-miss fraction exactly.
+	var tr trace.Trace
+	for i := 0; i < 8000; i++ {
+		tr = append(tr, trace.Request{Time: uint64(i), Addr: uint64(i) * 16, Size: 8, Op: trace.Read})
+	}
+	m := Fit(tr)
+	syn := Synthesize(m, 17)
+	if syn.Footprint(Fine) != tr.Footprint(Fine) {
+		t.Errorf("footprints differ: %d vs %d", syn.Footprint(Fine), tr.Footprint(Fine))
+	}
+}
+
+func TestTreapStackMatchesSlice(t *testing.T) {
+	// The treap must behave exactly like a naive move-to-front slice.
+	rng := stats.NewRNG(21)
+	st := newLRUStack(1)
+	var ref []uint64
+	for i := 0; i < 3000; i++ {
+		if len(ref) == 0 || rng.Bool(0.3) {
+			v := rng.Uint64()
+			st.insertFront(v)
+			ref = append([]uint64{v}, ref...)
+			continue
+		}
+		d := rng.Intn(len(ref))
+		got := st.promote(d)
+		want := ref[d]
+		ref = append(ref[:d], ref[d+1:]...)
+		ref = append([]uint64{want}, ref...)
+		if got != want {
+			t.Fatalf("op %d: promote(%d) = %d, want %d", i, d, got, want)
+		}
+		if st.len() != len(ref) {
+			t.Fatalf("op %d: len %d, want %d", i, st.len(), len(ref))
+		}
+	}
+}
+
+func TestTreapPromoteClamps(t *testing.T) {
+	st := newLRUStack(2)
+	if st.promote(0) != 0 {
+		t.Error("empty promote should return 0")
+	}
+	st.insertFront(11)
+	st.insertFront(22)
+	if got := st.promote(99); got != 11 {
+		t.Errorf("clamped promote = %d, want deepest (11)", got)
+	}
+}
+
+func TestDrawerStrictConvergence(t *testing.T) {
+	hist := map[int]uint32{1: 3, 5: 2}
+	d := newDrawer(hist, 4, stats.NewRNG(5))
+	counts := map[int]int{}
+	colds := 0
+	for i := 0; i < 9; i++ {
+		v, cold := d.draw()
+		if cold {
+			colds++
+		} else {
+			counts[v]++
+		}
+	}
+	if counts[1] != 3 || counts[5] != 2 || colds != 4 {
+		t.Errorf("drawn %v + %d colds, want 3x1, 2x5, 4 cold", counts, colds)
+	}
+	// Exhausted drawer keeps returning cold.
+	if _, cold := d.draw(); !cold {
+		t.Error("exhausted drawer returned non-cold")
+	}
+}
+
+func TestFitSynthesizeProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		tr := workload(seed, 600)
+		m := Fit(tr)
+		syn := Synthesize(m, seed^0xabc)
+		if len(syn) != len(tr) {
+			return false
+		}
+		wr, ww := tr.Counts()
+		gr, gw := syn.Counts()
+		return wr == gr && ww == gw && syn.Footprint(Fine) == tr.Footprint(Fine)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

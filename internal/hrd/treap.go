@@ -1,0 +1,92 @@
+package hrd
+
+import "repro/internal/stats"
+
+// lruStack is an LRU stack with O(log n) indexed access and
+// move-to-front, implemented as an implicit-key treap. HRD synthesis
+// replays reuse distances against stacks that can grow to the workload's
+// whole footprint, so the naive slice representation's O(n) memmoves are
+// replaced by treap splits and merges.
+type lruStack struct {
+	root *treapNode
+	rng  *stats.RNG
+}
+
+func newLRUStack(seed uint64) *lruStack {
+	return &lruStack{rng: stats.NewRNG(seed)}
+}
+
+type treapNode struct {
+	left, right *treapNode
+	prio        uint64
+	size        int
+	val         uint64
+}
+
+func size(n *treapNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *treapNode) update() { n.size = size(n.left) + 1 + size(n.right) }
+
+// split divides t into the first k nodes and the rest.
+func split(t *treapNode, k int) (l, r *treapNode) {
+	if t == nil {
+		return nil, nil
+	}
+	if size(t.left) < k {
+		t.right, r = split(t.right, k-size(t.left)-1)
+		t.update()
+		return t, r
+	}
+	l, t.left = split(t.left, k)
+	t.update()
+	return l, t
+}
+
+// merge joins l and r, all of l preceding all of r.
+func merge(l, r *treapNode) *treapNode {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio >= r.prio:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+// len returns the number of stacked elements.
+func (s *lruStack) len() int { return size(s.root) }
+
+// promote removes the element at depth d (0 = most recent, clamped) and
+// re-inserts it at the top, returning its value.
+func (s *lruStack) promote(d int) uint64 {
+	n := size(s.root)
+	if n == 0 {
+		return 0
+	}
+	if d >= n {
+		d = n - 1
+	}
+	l, rest := split(s.root, d)
+	mid, r := split(rest, 1)
+	v := mid.val
+	s.root = merge(mid, merge(l, r))
+	return v
+}
+
+// insertFront pushes a new element onto the top of the stack.
+func (s *lruStack) insertFront(v uint64) {
+	n := &treapNode{prio: s.rng.Uint64(), size: 1, val: v}
+	s.root = merge(n, s.root)
+}

@@ -1,0 +1,126 @@
+package korder
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// periodicTrace emits fixed-length stride runs — the pattern class where
+// order-1 chains lose the run-length structure.
+func periodicTrace(n int) trace.Trace {
+	var tr trace.Trace
+	tm := uint64(0)
+	addr := uint64(0x1000)
+	for i := 0; i < n; i++ {
+		tm += 10
+		if i%8 == 7 {
+			addr += 4096 - 7*64 // jump to the next row after an 8-run
+		} else {
+			addr += 64
+		}
+		tr = append(tr, trace.Request{Time: tm, Addr: addr, Size: 64, Op: trace.Read})
+	}
+	return tr
+}
+
+func TestBuildAndSynthesizeCounts(t *testing.T) {
+	tr := periodicTrace(2000)
+	p, err := Build("periodic", tr, core.DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Order != 2 {
+		t.Errorf("Order = %d", p.Order)
+	}
+	got := trace.Collect(Synthesize(p, 1), 0)
+	if len(got) != len(tr) {
+		t.Errorf("synthesised %d, want %d", len(got), len(tr))
+	}
+	if !got.Sorted() {
+		t.Error("output unsorted")
+	}
+}
+
+func TestBuildInvalidConfig(t *testing.T) {
+	if _, err := Build("x", periodicTrace(10), partition.Config{}, 1); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestOrder2ReproducesPeriodicRunsExactly(t *testing.T) {
+	// With order >= 2 the fixed 8-run structure is deterministic, so the
+	// synthetic address sequence matches the original exactly.
+	tr := periodicTrace(1000)
+	p, err := Build("periodic", tr, core.DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Collect(Synthesize(p, 9), 0)
+	mismatch := 0
+	for i := range tr {
+		if got[i].Addr != tr[i].Addr {
+			mismatch++
+		}
+	}
+	if mismatch != 0 {
+		t.Errorf("%d/%d address mismatches at order 2", mismatch, len(tr))
+	}
+}
+
+func TestOrder1LosesRunStructure(t *testing.T) {
+	// Sanity that the ablation is meaningful: order 1 on the same trace
+	// does NOT reproduce addresses exactly (run lengths randomise).
+	tr := periodicTrace(1000)
+	p, err := Build("periodic", tr, core.DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Collect(Synthesize(p, 9), 0)
+	mismatch := 0
+	for i := range tr {
+		if got[i].Addr != tr[i].Addr {
+			mismatch++
+		}
+	}
+	if mismatch == 0 {
+		t.Skip("order-1 happened to reproduce the pattern; seed-dependent")
+	}
+}
+
+func TestAddressesStayInRange(t *testing.T) {
+	rng := stats.NewRNG(4)
+	var tr trace.Trace
+	tm := uint64(0)
+	for i := 0; i < 1000; i++ {
+		tm += rng.Uint64n(30)
+		tr = append(tr, trace.Request{
+			Time: tm, Addr: 0x5000 + rng.Uint64n(8192), Size: 32, Op: trace.Read,
+		})
+	}
+	p, err := Build("rand", tr, core.DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := tr.AddrRange()
+	for _, r := range trace.Collect(Synthesize(p, 5), 0) {
+		if r.Addr < lo || r.Addr >= hi {
+			t.Fatalf("address 0x%x outside [0x%x, 0x%x)", r.Addr, lo, hi)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	tr := periodicTrace(500)
+	p, _ := Build("periodic", tr, core.DefaultConfig(), 2)
+	a := trace.Collect(Synthesize(p, 3), 0)
+	b := trace.Collect(Synthesize(p, 3), 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

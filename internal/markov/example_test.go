@@ -1,0 +1,29 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+	"repro/internal/stats"
+)
+
+// Example shows the McC model choosing between a Constant and a Markov
+// chain, and strict convergence reproducing a deterministic pattern.
+func Example() {
+	constant := markov.Fit([]int64{64, 64, 64, 64})
+	fmt.Println(constant.String())
+
+	cyclic := markov.Fit([]int64{1, 2, 3, 1, 2, 3, 1})
+	fmt.Println(cyclic.String())
+
+	g := markov.NewGenerator(&cyclic, stats.NewRNG(7))
+	out := make([]int64, 7)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	fmt.Println(out)
+	// Output:
+	// Constant(64)
+	// Markov(states=3, transitions=6, initial=1)
+	// [1 2 3 1 2 3 1]
+}

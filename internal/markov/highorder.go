@@ -1,0 +1,185 @@
+package markov
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// HModel is a history-k Markov model: the state is the tuple of the last
+// k values rather than just the previous one. Order 1 reduces to the
+// standard McC chain. Higher orders capture periodic patterns (such as
+// the tiled DPU scan's fixed-length stride runs) that a first-order
+// chain regenerates only in distribution; they cost proportionally more
+// metadata, which is why the paper's McC stays first-order. The
+// "ablation-korder" experiment quantifies this trade-off.
+type HModel struct {
+	// Constant mirrors Model: a variability-free feature.
+	Constant bool
+	Value    int64
+
+	// Order is the history length k (>= 1).
+	Order int
+	// Prefix is the first min(k, len(seq)) values, used to seed
+	// generation.
+	Prefix []int64
+	// Rows maps an encoded history to its observed successors.
+	Rows map[string][]Edge
+}
+
+// FitOrder fits a history-k model to the sequence. k < 1 is treated as
+// 1. Like Fit, an empty sequence yields a constant-zero model and a
+// variability-free sequence yields a Constant.
+func FitOrder(seq []int64, k int) HModel {
+	if k < 1 {
+		k = 1
+	}
+	if len(seq) == 0 {
+		return HModel{Constant: true, Order: k}
+	}
+	constant := true
+	for _, v := range seq[1:] {
+		if v != seq[0] {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		return HModel{Constant: true, Value: seq[0], Order: k}
+	}
+	m := HModel{Order: k, Rows: make(map[string][]Edge)}
+	n := k
+	if n > len(seq) {
+		n = len(seq)
+	}
+	m.Prefix = append([]int64(nil), seq[:n]...)
+	for i := 1; i < len(seq); i++ {
+		lo := i - k
+		if lo < 0 {
+			lo = 0
+		}
+		key := encodeState(seq[lo:i])
+		m.Rows[key] = bumpEdge(m.Rows[key], seq[i])
+	}
+	return m
+}
+
+func bumpEdge(row []Edge, v int64) []Edge {
+	for i := range row {
+		if row[i].To == v {
+			row[i].N++
+			return row
+		}
+	}
+	row = append(row, Edge{To: v, N: 1})
+	sort.Slice(row, func(i, j int) bool { return row[i].To < row[j].To })
+	return row
+}
+
+// encodeState packs a value history into a map key.
+func encodeState(h []int64) string {
+	b := make([]byte, 0, len(h)*binary.MaxVarintLen64)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range h {
+		n := binary.PutVarint(tmp[:], v)
+		b = append(b, tmp[:n]...)
+	}
+	return string(b)
+}
+
+// States returns the number of distinct histories (0 for Constant).
+func (m *HModel) States() int { return len(m.Rows) }
+
+// HGenerator generates a sequence from an HModel under strict
+// convergence on the per-history transition counts. Single-use.
+type HGenerator struct {
+	m       *HModel
+	rng     *stats.RNG
+	hist    []int64
+	emitted int
+	remain  map[string][]Edge
+}
+
+// NewHGenerator returns a generator drawing from rng.
+func NewHGenerator(m *HModel, rng *stats.RNG) *HGenerator {
+	g := &HGenerator{m: m, rng: rng}
+	if !m.Constant {
+		g.remain = make(map[string][]Edge, len(m.Rows))
+	}
+	return g
+}
+
+// Next returns the next value: the recorded prefix first, then history-k
+// transitions with back-off to shorter histories when the full history
+// was never observed.
+func (g *HGenerator) Next() int64 {
+	if g.m.Constant {
+		return g.m.Value
+	}
+	if g.emitted < len(g.m.Prefix) {
+		v := g.m.Prefix[g.emitted]
+		g.emitted++
+		g.push(v)
+		return v
+	}
+	g.emitted++
+	v := g.step()
+	g.push(v)
+	return v
+}
+
+func (g *HGenerator) push(v int64) {
+	g.hist = append(g.hist, v)
+	if len(g.hist) > g.m.Order {
+		g.hist = g.hist[1:]
+	}
+}
+
+// step draws a successor for the current history, backing off to
+// shorter suffixes, and finally to any non-empty row.
+func (g *HGenerator) step() int64 {
+	for h := len(g.hist); h >= 1; h-- {
+		key := encodeState(g.hist[len(g.hist)-h:])
+		orig, ok := g.m.Rows[key]
+		if !ok {
+			continue
+		}
+		row, ok := g.remain[key]
+		if !ok {
+			row = append([]Edge(nil), orig...)
+			g.remain[key] = row
+		}
+		var total uint64
+		for _, e := range row {
+			total += uint64(e.N)
+		}
+		if total == 0 {
+			// Strictly converged: redraw from the training counts.
+			for _, e := range orig {
+				total += uint64(e.N)
+			}
+			pick := g.rng.Uint64n(total)
+			for _, e := range orig {
+				if pick < uint64(e.N) {
+					return e.To
+				}
+				pick -= uint64(e.N)
+			}
+		}
+		pick := g.rng.Uint64n(total)
+		for i := range row {
+			if pick < uint64(row[i].N) {
+				row[i].N--
+				return row[i].To
+			}
+			pick -= uint64(row[i].N)
+		}
+	}
+	// The history (and every suffix) was never observed: fall back to
+	// the prefix's first value.
+	if len(g.m.Prefix) > 0 {
+		return g.m.Prefix[0]
+	}
+	return 0
+}

@@ -1,0 +1,155 @@
+package markov
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func genH(m *HModel, n int, seed uint64) []int64 {
+	g := NewHGenerator(m, stats.NewRNG(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func TestFitOrderEmptyAndConstant(t *testing.T) {
+	m := FitOrder(nil, 2)
+	if !m.Constant {
+		t.Error("empty sequence not constant")
+	}
+	m = FitOrder([]int64{5, 5, 5}, 2)
+	if !m.Constant || m.Value != 5 {
+		t.Errorf("constant fit = %+v", m)
+	}
+	if got := genH(&m, 3, 1); got[0] != 5 || got[2] != 5 {
+		t.Errorf("constant generation = %v", got)
+	}
+}
+
+func TestFitOrderClampsK(t *testing.T) {
+	m := FitOrder([]int64{1, 2, 1}, 0)
+	if m.Order != 1 {
+		t.Errorf("Order = %d, want clamped to 1", m.Order)
+	}
+}
+
+func TestOrder1MatchesFirstOrderBehaviour(t *testing.T) {
+	seq := []int64{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	m := FitOrder(seq, 1)
+	got := genH(&m, len(seq), 7)
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("order-1 cyclic: got[%d]=%d want %d", i, got[i], seq[i])
+		}
+	}
+}
+
+func TestOrder2ResolvesAmbiguity(t *testing.T) {
+	// Runs of two 7s followed by a 9: after one 7 the successor is
+	// ambiguous, but the previous TWO values disambiguate ((7,7) -> 9,
+	// (9,7) -> 7). Order-2 must reproduce the period-3 pattern exactly;
+	// order-1 generally cannot.
+	var seq []int64
+	for i := 0; i < 12; i++ {
+		seq = append(seq, []int64{7, 7, 9}...)
+	}
+	m2 := FitOrder(seq, 2)
+	got := genH(&m2, len(seq), 3)
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("order-2: got[%d]=%d want %d", i, got[i], seq[i])
+		}
+	}
+}
+
+func TestOrder3ResolvesLongerPeriod(t *testing.T) {
+	// Period-4 runs: 7 7 7 9 repeated; after "7 7" the successor depends
+	// on the value before, so order-3 captures it exactly.
+	var seq []int64
+	for i := 0; i < 20; i++ {
+		seq = append(seq, 7, 7, 7, 9)
+	}
+	m := FitOrder(seq, 3)
+	got := genH(&m, len(seq), 11)
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("order-3: got[%d]=%d want %d", i, got[i], seq[i])
+		}
+	}
+}
+
+func TestHGeneratorPrefixEmittedFirst(t *testing.T) {
+	seq := []int64{4, 5, 6, 4, 5, 6, 4}
+	m := FitOrder(seq, 3)
+	got := genH(&m, 3, 1)
+	for i, want := range []int64{4, 5, 6} {
+		if got[i] != want {
+			t.Errorf("prefix[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestHGeneratorOnlyTrainedValues(t *testing.T) {
+	seq := []int64{1, 4, 2, 8, 5, 7, 1, 4, 2}
+	m := FitOrder(seq, 2)
+	valid := map[int64]bool{}
+	for _, v := range seq {
+		valid[v] = true
+	}
+	for _, v := range genH(&m, 100, 13) {
+		if !valid[v] {
+			t.Fatalf("generated untrained value %d", v)
+		}
+	}
+}
+
+func TestHGeneratorDeterministicPerSeed(t *testing.T) {
+	seq := []int64{1, 2, 2, 3, 1, 3, 2, 1}
+	m := FitOrder(seq, 2)
+	a := genH(&m, 50, 5)
+	b := genH(&m, 50, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestHModelStates(t *testing.T) {
+	m := FitOrder([]int64{1, 2, 1, 2, 1}, 2)
+	if m.States() == 0 {
+		t.Error("no states for varying sequence")
+	}
+	c := FitOrder([]int64{1, 1}, 2)
+	if c.States() != 0 {
+		t.Error("constant model has states")
+	}
+}
+
+func TestHigherOrderCostsMoreStates(t *testing.T) {
+	rng := stats.NewRNG(3)
+	seq := make([]int64, 500)
+	for i := range seq {
+		seq[i] = int64(rng.Intn(5))
+	}
+	m1 := FitOrder(seq, 1)
+	m3 := FitOrder(seq, 3)
+	if m3.States() <= m1.States() {
+		t.Errorf("order-3 states %d not more than order-1 %d", m3.States(), m1.States())
+	}
+}
+
+func TestEncodeStateDistinct(t *testing.T) {
+	if encodeState([]int64{1, 2}) == encodeState([]int64{2, 1}) {
+		t.Error("state encodings collide on order")
+	}
+	if encodeState([]int64{1}) == encodeState([]int64{1, 1}) {
+		t.Error("state encodings collide on length")
+	}
+	if encodeState([]int64{-1}) == encodeState([]int64{1}) {
+		t.Error("state encodings collide on sign")
+	}
+}

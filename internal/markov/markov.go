@@ -1,0 +1,268 @@
+// Package markov implements the McC model of Mocktails §III-B: each memory
+// request feature (delta time, stride, operation, size) within a partition
+// is modelled either by a Constant, when the training sequence shows no
+// variability, or by a first-order Markov chain over the observed values.
+//
+// Generation uses strict convergence (Mocktails §III-C, following STM and
+// WEST): every observed transition carries a count, and each time a
+// transition is taken its remaining count is decremented, so the synthetic
+// sequence reproduces the exact multiset of transitions where possible.
+package markov
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Edge is one outgoing Markov transition with its training count.
+type Edge struct {
+	To int64
+	N  uint32
+}
+
+// Row holds the outgoing transitions of one state, sorted by To for
+// deterministic iteration and serialisation.
+type Row struct {
+	From  int64
+	Edges []Edge
+}
+
+// Model is a McC ("Markov chain or Constant") model of one feature.
+// The zero value is an empty model; build one with Fit.
+type Model struct {
+	// Constant is true when the feature never changes value in the
+	// training sequence; Value holds that value.
+	Constant bool
+	Value    int64
+
+	// Initial is the first value of the training sequence; generation
+	// starts here.
+	Initial int64
+	// Rows holds the transition table, sorted by From.
+	Rows []Row
+}
+
+// Fit builds a McC model from a training sequence. An empty sequence
+// yields a constant-zero model; a sequence whose values are all equal
+// yields a Constant model; otherwise a Markov chain with per-transition
+// counts is built.
+func Fit(seq []int64) Model {
+	if len(seq) == 0 {
+		return Model{Constant: true}
+	}
+	constant := true
+	for _, v := range seq[1:] {
+		if v != seq[0] {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		return Model{Constant: true, Value: seq[0], Initial: seq[0]}
+	}
+	counts := make(map[int64]map[int64]uint32)
+	for i := 1; i < len(seq); i++ {
+		from, to := seq[i-1], seq[i]
+		row := counts[from]
+		if row == nil {
+			row = make(map[int64]uint32)
+			counts[from] = row
+		}
+		row[to]++
+	}
+	m := Model{Initial: seq[0]}
+	m.Rows = make([]Row, 0, len(counts))
+	for from, row := range counts {
+		edges := make([]Edge, 0, len(row))
+		for to, n := range row {
+			edges = append(edges, Edge{To: to, N: n})
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].To < edges[j].To })
+		m.Rows = append(m.Rows, Row{From: from, Edges: edges})
+	}
+	sort.Slice(m.Rows, func(i, j int) bool { return m.Rows[i].From < m.Rows[j].From })
+	return m
+}
+
+// States returns the number of states in the transition table (0 for a
+// Constant model).
+func (m *Model) States() int { return len(m.Rows) }
+
+// Transitions returns the total training transition count.
+func (m *Model) Transitions() int {
+	n := 0
+	for _, r := range m.Rows {
+		for _, e := range r.Edges {
+			n += int(e.N)
+		}
+	}
+	return n
+}
+
+// String summarises the model.
+func (m *Model) String() string {
+	if m.Constant {
+		return fmt.Sprintf("Constant(%d)", m.Value)
+	}
+	return fmt.Sprintf("Markov(states=%d, transitions=%d, initial=%d)", m.States(), m.Transitions(), m.Initial)
+}
+
+// rowIndex returns the index of state from in Rows, or -1.
+func (m *Model) rowIndex(from int64) int {
+	i := sort.Search(len(m.Rows), func(i int) bool { return m.Rows[i].From >= from })
+	if i < len(m.Rows) && m.Rows[i].From == from {
+		return i
+	}
+	return -1
+}
+
+// Generator produces a value sequence from a Model under strict
+// convergence: per-transition counts steer the ordering, and per-value
+// remaining counts guarantee that generating exactly the training length
+// reproduces the exact multiset of values — the property the paper relies
+// on ("strict convergence ensures that only two 128 sizes and ten 64
+// sizes are generated"). A Generator is single-use; create a fresh one
+// per synthesis run.
+type Generator struct {
+	m         *Model
+	rng       *stats.RNG
+	state     int64
+	started   bool
+	remaining [][]uint32 // per-row remaining edge counts
+
+	// Value-level strict convergence: the sorted training values and how
+	// many emissions of each remain.
+	values   []int64
+	valueRem []uint32
+	remTotal uint64
+}
+
+// NewGenerator returns a generator for m drawing from rng.
+func NewGenerator(m *Model, rng *stats.RNG) *Generator {
+	g := &Generator{m: m, rng: rng}
+	if !m.Constant {
+		g.remaining = make([][]uint32, len(m.Rows))
+		for i, r := range m.Rows {
+			rem := make([]uint32, len(r.Edges))
+			for j, e := range r.Edges {
+				rem[j] = e.N
+			}
+			g.remaining[i] = rem
+		}
+		g.initValueCounts()
+	}
+	return g
+}
+
+// initValueCounts derives, from the transition table, how many times each
+// value appears in the training sequence: its in-degree plus one for the
+// initial value.
+func (g *Generator) initValueCounts() {
+	counts := make(map[int64]uint32)
+	for _, r := range g.m.Rows {
+		for _, e := range r.Edges {
+			counts[e.To] += e.N
+		}
+	}
+	counts[g.m.Initial]++
+	g.values = make([]int64, 0, len(counts))
+	for v := range counts {
+		g.values = append(g.values, v)
+	}
+	sort.Slice(g.values, func(i, j int) bool { return g.values[i] < g.values[j] })
+	g.valueRem = make([]uint32, len(g.values))
+	for i, v := range g.values {
+		g.valueRem[i] = counts[v]
+		g.remTotal += uint64(counts[v])
+	}
+}
+
+// consumeValue decrements the remaining count of v, redirecting to a
+// value that still has emissions left when v is exhausted. Once the
+// training length has been fully generated it passes values through
+// unchanged.
+func (g *Generator) consumeValue(v int64) int64 {
+	if g.remTotal == 0 {
+		return v
+	}
+	i := sort.Search(len(g.values), func(i int) bool { return g.values[i] >= v })
+	if i < len(g.values) && g.values[i] == v && g.valueRem[i] > 0 {
+		g.valueRem[i]--
+		g.remTotal--
+		return v
+	}
+	// Redirect: draw among the values that still need emitting, weighted
+	// by their remaining counts.
+	pick := g.rng.Uint64n(g.remTotal)
+	for j := range g.values {
+		if pick < uint64(g.valueRem[j]) {
+			g.valueRem[j]--
+			g.remTotal--
+			return g.values[j]
+		}
+		pick -= uint64(g.valueRem[j])
+	}
+	return v
+}
+
+// Next returns the next value of the sequence. The first call returns the
+// model's initial value; later calls take one Markov transition (or repeat
+// the constant).
+func (g *Generator) Next() int64 {
+	if g.m.Constant {
+		return g.m.Value
+	}
+	if !g.started {
+		g.started = true
+		g.state = g.consumeValue(g.m.Initial)
+		return g.state
+	}
+	g.state = g.consumeValue(g.step(g.state))
+	return g.state
+}
+
+// step chooses the next state from cur. It first draws from the remaining
+// (strict-convergence) counts; if the row is exhausted it falls back to the
+// original training distribution, and if the state never appeared as a
+// source in training it restarts from the initial state's row.
+func (g *Generator) step(cur int64) int64 {
+	ri := g.m.rowIndex(cur)
+	if ri < 0 {
+		// Terminal training state: restart from the initial state.
+		ri = g.m.rowIndex(g.m.Initial)
+		if ri < 0 {
+			return g.m.Initial
+		}
+	}
+	row := g.m.Rows[ri]
+	rem := g.remaining[ri]
+	var total uint64
+	for _, n := range rem {
+		total += uint64(n)
+	}
+	if total > 0 {
+		pick := g.rng.Uint64n(total)
+		for j, n := range rem {
+			if pick < uint64(n) {
+				rem[j]--
+				return row.Edges[j].To
+			}
+			pick -= uint64(n)
+		}
+	}
+	// Row exhausted: fall back to the original distribution.
+	total = 0
+	for _, e := range row.Edges {
+		total += uint64(e.N)
+	}
+	pick := g.rng.Uint64n(total)
+	for _, e := range row.Edges {
+		if pick < uint64(e.N) {
+			return e.To
+		}
+		pick -= uint64(e.N)
+	}
+	return row.Edges[len(row.Edges)-1].To
+}

@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// ByDynamic implements the paper's dynamic spatial partitioning
+// (Algorithm 1 plus the lonely-request rules of §III-A):
+//
+//  1. Build [addr, addr+size) ranges for every request, sort them, and
+//     merge ranges that intersect or touch into maximal memory regions.
+//  2. Assign every request to the region containing it; each region with
+//     two or more requests becomes a partition whose bounds are exactly
+//     the region.
+//  3. Regions holding a single request are "lonely". Runs of lonely
+//     requests that are equally spaced in memory (constant stride) are
+//     grouped into one partition each; any remaining lonely requests are
+//     merged together into a single catch-all partition.
+//
+// Request order within each partition preserves the input (temporal)
+// order.
+func ByDynamic(t trace.Trace) []Leaf {
+	if len(t) == 0 {
+		return nil
+	}
+	regions := mergeRanges(t)
+	// Assign requests to regions; requests are ordered, so each region's
+	// subsequence is ordered too.
+	perRegion := make([]trace.Trace, len(regions))
+	for _, r := range t {
+		i := findRegion(regions, r.Addr)
+		perRegion[i] = append(perRegion[i], r)
+	}
+
+	var leaves []Leaf
+	var lonelies []lonely
+	for i, reqs := range perRegion {
+		if len(reqs) == 0 {
+			continue
+		}
+		if len(reqs) == 1 {
+			lonelies = append(lonelies, lonely{reqs[0], regions[i].lo, regions[i].hi})
+			continue
+		}
+		leaves = append(leaves, Leaf{Reqs: reqs, Lo: regions[i].lo, Hi: regions[i].hi})
+	}
+	if len(lonelies) == 0 {
+		return leaves
+	}
+	// Group lonely requests: maximal constant-stride runs in address
+	// order become partitions; leftovers merge into one partition.
+	sort.SliceStable(lonelies, func(i, j int) bool { return lonelies[i].req.Addr < lonelies[j].req.Addr })
+	var rest []lonely
+	i := 0
+	for i < len(lonelies) {
+		j := i + 1
+		if j < len(lonelies) {
+			stride := lonelies[j].req.Addr - lonelies[i].req.Addr
+			for j+1 < len(lonelies) && lonelies[j+1].req.Addr-lonelies[j].req.Addr == stride {
+				j++
+			}
+		}
+		if j-i+1 >= 3 { // an equally-spaced run of at least three
+			leaves = append(leaves, lonelyLeaf(lonelies[i:j+1]))
+			i = j + 1
+			continue
+		}
+		rest = append(rest, lonelies[i])
+		i++
+	}
+	if len(rest) > 0 {
+		leaves = append(leaves, lonelyLeaf(rest))
+	}
+	return leaves
+
+}
+
+// lonely is a merged region that attracted exactly one request.
+type lonely struct {
+	req    trace.Request
+	lo, hi uint64
+}
+
+func lonelyLeaf(ls []lonely) Leaf {
+	reqs := make(trace.Trace, 0, len(ls))
+	lo, hi := ls[0].lo, ls[0].hi
+	for _, l := range ls {
+		reqs = append(reqs, l.req)
+		if l.lo < lo {
+			lo = l.lo
+		}
+		if l.hi > hi {
+			hi = l.hi
+		}
+	}
+	// Restore temporal order within the grouped partition.
+	reqs.SortByTime()
+	return Leaf{Reqs: reqs, Lo: lo, Hi: hi}
+}
+
+type region struct{ lo, hi uint64 }
+
+// mergeRanges is Algorithm 1: sort the per-request ranges and merge any
+// that intersect or touch, yielding non-overlapping maximal regions in
+// ascending address order.
+func mergeRanges(t trace.Trace) []region {
+	ranges := make([]region, len(t))
+	for i, r := range t {
+		ranges[i] = region{r.Addr, r.End()}
+	}
+	sort.Slice(ranges, func(i, j int) bool {
+		if ranges[i].lo != ranges[j].lo {
+			return ranges[i].lo < ranges[j].lo
+		}
+		return ranges[i].hi < ranges[j].hi
+	})
+	out := ranges[:1]
+	for _, r := range ranges[1:] {
+		last := &out[len(out)-1]
+		if r.lo <= last.hi { // overlapping or adjacent
+			if r.hi > last.hi {
+				last.hi = r.hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// findRegion returns the index of the region containing addr. Regions are
+// sorted and non-overlapping, and every request address is inside one.
+func findRegion(regions []region, addr uint64) int {
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].hi > addr })
+	return i
+}

@@ -1,0 +1,224 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestDynamicEmpty(t *testing.T) {
+	if got := ByDynamic(nil); got != nil {
+		t.Errorf("ByDynamic(nil) = %v", got)
+	}
+}
+
+func TestDynamicMergesOverlapping(t *testing.T) {
+	tr := trace.Trace{
+		req(0, 100, 64), // [100,164)
+		req(1, 150, 64), // overlaps -> one region [100,214)
+	}
+	leaves := ByDynamic(tr)
+	if len(leaves) != 1 {
+		t.Fatalf("got %d leaves, want 1", len(leaves))
+	}
+	if leaves[0].Lo != 100 || leaves[0].Hi != 214 {
+		t.Errorf("bounds = [%d,%d), want [100,214)", leaves[0].Lo, leaves[0].Hi)
+	}
+}
+
+func TestDynamicMergesAdjacent(t *testing.T) {
+	tr := trace.Trace{
+		req(0, 0, 64),  // [0,64)
+		req(1, 64, 64), // touches -> merged
+	}
+	leaves := ByDynamic(tr)
+	if len(leaves) != 1 {
+		t.Fatalf("adjacent ranges not merged: %d leaves", len(leaves))
+	}
+}
+
+func TestDynamicSeparatesDistantRegions(t *testing.T) {
+	tr := trace.Trace{
+		req(0, 0, 64), req(1, 64, 64), // region A
+		req(2, 100000, 64), req(3, 100064, 64), // region B
+	}
+	leaves := ByDynamic(tr)
+	if len(leaves) != 2 {
+		t.Fatalf("got %d leaves, want 2", len(leaves))
+	}
+}
+
+func TestDynamicBoundsAreExactUnion(t *testing.T) {
+	// The defining property vs fixed-size blocks: bounds cover exactly
+	// the bytes touched, nothing more (§V-B's fidelity argument).
+	tr := trace.Trace{
+		req(0, 1000, 16), req(1, 1016, 8), req(2, 1024, 64),
+	}
+	leaves := ByDynamic(tr)
+	if len(leaves) != 1 {
+		t.Fatalf("got %d leaves", len(leaves))
+	}
+	if leaves[0].Lo != 1000 || leaves[0].Hi != 1088 {
+		t.Errorf("bounds = [%d,%d), want [1000,1088)", leaves[0].Lo, leaves[0].Hi)
+	}
+}
+
+func TestDynamicReuseStaysTogether(t *testing.T) {
+	// Requests spread in time but hitting the same region belong to one
+	// partition (the "partition F" case of Fig. 2).
+	tr := trace.Trace{
+		req(0, 500, 64), req(1000000, 500, 64), req(2000000, 564, 64),
+	}
+	leaves := ByDynamic(tr)
+	if len(leaves) != 1 {
+		t.Fatalf("reused region split into %d leaves", len(leaves))
+	}
+	if len(leaves[0].Reqs) != 3 {
+		t.Errorf("partition has %d requests, want 3", len(leaves[0].Reqs))
+	}
+}
+
+func TestDynamicLonelyCatchAll(t *testing.T) {
+	// Two isolated single requests at unrelated addresses merge into one
+	// catch-all partition (the "partition D" rule).
+	tr := trace.Trace{
+		req(0, 0, 64), req(1, 64, 64), // a real region
+		req(2, 50000, 4),  // lonely
+		req(3, 987654, 4), // lonely
+	}
+	leaves := ByDynamic(tr)
+	if len(leaves) != 2 {
+		t.Fatalf("got %d leaves, want 2 (region + merged lonelies)", len(leaves))
+	}
+	var lonely *Leaf
+	for i := range leaves {
+		if leaves[i].Lo >= 50000 {
+			lonely = &leaves[i]
+		}
+	}
+	if lonely == nil || len(lonely.Reqs) != 2 {
+		t.Fatalf("lonely requests not merged: %+v", leaves)
+	}
+}
+
+func TestDynamicLonelyStrideRun(t *testing.T) {
+	// Lonely requests equally spaced in memory group into a single
+	// partition.
+	tr := trace.Trace{
+		req(0, 0, 4), req(1, 1000, 4), req(2, 2000, 4), req(3, 3000, 4),
+	}
+	leaves := ByDynamic(tr)
+	if len(leaves) != 1 {
+		t.Fatalf("equally-spaced lonelies gave %d leaves, want 1", len(leaves))
+	}
+	if len(leaves[0].Reqs) != 4 {
+		t.Errorf("run partition has %d requests", len(leaves[0].Reqs))
+	}
+}
+
+func TestDynamicSingleRequest(t *testing.T) {
+	leaves := ByDynamic(trace.Trace{req(0, 42, 8)})
+	if len(leaves) != 1 || len(leaves[0].Reqs) != 1 {
+		t.Fatalf("single request trace: %+v", leaves)
+	}
+}
+
+func TestDynamicLonelyPreservesTimeOrder(t *testing.T) {
+	// The catch-all partition re-sorts by time even though grouping
+	// happens in address order.
+	tr := trace.Trace{
+		req(5, 900000, 4), // later in time, lower in no particular order
+		req(1, 100, 4),
+		req(3, 50000, 4),
+	}
+	leaves := ByDynamic(tr)
+	if len(leaves) != 1 {
+		t.Fatalf("got %d leaves", len(leaves))
+	}
+	reqs := leaves[0].Reqs
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Time < reqs[i-1].Time {
+			t.Fatal("lonely partition not in time order")
+		}
+	}
+}
+
+func TestDynamicPartitionInvariants(t *testing.T) {
+	// Property: for any request set, dynamic partitioning (1) preserves
+	// the total request count, (2) keeps every request inside its leaf's
+	// bounds, and (3) produces leaves whose request extents never
+	// overlap another leaf's bounds... except the catch-all partition,
+	// whose bounds may span others, so we check (1) and (2) only plus
+	// per-leaf containment.
+	check := func(seed uint64, n uint8) bool {
+		rng := stats.NewRNG(seed)
+		var tr trace.Trace
+		for i := 0; i < int(n); i++ {
+			tr = append(tr, trace.Request{
+				Time: uint64(i),
+				Addr: rng.Uint64n(1 << 16),
+				Size: uint32(1 + rng.Intn(128)),
+				Op:   trace.Read,
+			})
+		}
+		leaves := ByDynamic(tr)
+		total := 0
+		for _, l := range leaves {
+			total += len(l.Reqs)
+			for _, r := range l.Reqs {
+				if r.Addr < l.Lo || r.End() > l.Hi {
+					return false
+				}
+			}
+		}
+		return total == len(tr)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitPreservesRequestsProperty(t *testing.T) {
+	// Property: every hierarchical configuration partitions the trace
+	// (each request lands in exactly one leaf).
+	configs := []Config{
+		TwoLevelTS(100),
+		TwoLevelRequestCount(7, 0),
+		TwoLevelRequestCount(7, 256),
+		{Layers: []Layer{{Kind: SpatialDynamic}}},
+		{Layers: []Layer{{Kind: SpatialFixed, Param: 128}}},
+	}
+	check := func(seed uint64, n uint8) bool {
+		rng := stats.NewRNG(seed)
+		var tr trace.Trace
+		tm := uint64(0)
+		for i := 0; i < int(n); i++ {
+			tm += rng.Uint64n(50)
+			tr = append(tr, trace.Request{
+				Time: tm,
+				Addr: rng.Uint64n(1 << 14),
+				Size: uint32(1 + rng.Intn(64)),
+				Op:   trace.Read,
+			})
+		}
+		for _, cfg := range configs {
+			leaves, err := Split(tr, cfg)
+			if err != nil {
+				return false
+			}
+			total := 0
+			for _, l := range leaves {
+				total += len(l.Reqs)
+			}
+			if total != len(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

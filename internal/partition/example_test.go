@@ -1,0 +1,38 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// ExampleByDynamic shows Algorithm 1 on the paper's running example: two
+// interleaved streams plus an isolated pair of requests become three
+// partitions with exact bounds.
+func ExampleByDynamic() {
+	tr := trace.Trace{
+		{Time: 0, Addr: 0x1000, Size: 64, Op: trace.Read},
+		{Time: 1, Addr: 0x8000, Size: 64, Op: trace.Read},
+		{Time: 2, Addr: 0x1040, Size: 64, Op: trace.Read}, // adjacent to 0x1000
+		{Time: 3, Addr: 0x8040, Size: 64, Op: trace.Read}, // adjacent to 0x8000
+		{Time: 4, Addr: 0xff000, Size: 4, Op: trace.Read}, // lonely
+		{Time: 5, Addr: 0x50000, Size: 4, Op: trace.Read}, // lonely
+	}
+	for _, leaf := range partition.ByDynamic(tr) {
+		fmt.Printf("[0x%x,0x%x) %d requests\n", leaf.Lo, leaf.Hi, len(leaf.Reqs))
+	}
+	// Output:
+	// [0x1000,0x1080) 2 requests
+	// [0x8000,0x8080) 2 requests
+	// [0x50000,0xff004) 2 requests
+}
+
+// ExampleConfig_String shows the paper's two standard hierarchies.
+func ExampleConfig_String() {
+	fmt.Println(partition.TwoLevelTS(500000))
+	fmt.Println(partition.TwoLevelRequestCount(100000, 0))
+	// Output:
+	// temporal(cycle_count)[500000] -> spatial(dynamic)
+	// temporal(request_count)[100000] -> spatial(dynamic)
+}

@@ -1,0 +1,219 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func req(t, a uint64, s uint32) trace.Request {
+	return trace.Request{Time: t, Addr: a, Size: s, Op: trace.Read}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{TemporalRequestCount, TemporalCycleCount, SpatialFixed, SpatialDynamic} {
+		if k.String() == "" {
+			t.Errorf("Kind(%d) has empty String", k)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown Kind has empty String")
+	}
+}
+
+func TestKindTemporal(t *testing.T) {
+	if !TemporalRequestCount.Temporal() || !TemporalCycleCount.Temporal() {
+		t.Error("temporal kinds not temporal")
+	}
+	if SpatialFixed.Temporal() || SpatialDynamic.Temporal() {
+		t.Error("spatial kinds reported temporal")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("empty config validated")
+	}
+	bad := Config{Layers: []Layer{{Kind: SpatialFixed, Param: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-param fixed layer validated")
+	}
+	ok := Config{Layers: []Layer{{Kind: SpatialDynamic}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("dynamic layer rejected: %v", err)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := TwoLevelTS(500000)
+	s := c.String()
+	if s == "" {
+		t.Fatal("empty config string")
+	}
+	c2 := TwoLevelRequestCount(1000, 4096)
+	if c2.String() == s {
+		t.Error("distinct configs render identically")
+	}
+}
+
+func TestTwoLevelConstructors(t *testing.T) {
+	c := TwoLevelTS(500000)
+	if len(c.Layers) != 2 || c.Layers[0].Kind != TemporalCycleCount || c.Layers[1].Kind != SpatialDynamic {
+		t.Errorf("TwoLevelTS = %+v", c)
+	}
+	d := TwoLevelRequestCount(100000, 0)
+	if d.Layers[1].Kind != SpatialDynamic {
+		t.Errorf("blockSize 0 should select dynamic, got %+v", d)
+	}
+	f := TwoLevelRequestCount(100000, 4096)
+	if f.Layers[1].Kind != SpatialFixed || f.Layers[1].Param != 4096 {
+		t.Errorf("fixed config = %+v", f)
+	}
+}
+
+func TestSplitEmptyTrace(t *testing.T) {
+	leaves, err := Split(nil, TwoLevelTS(1000))
+	if err != nil || leaves != nil {
+		t.Errorf("Split(nil) = %v, %v", leaves, err)
+	}
+}
+
+func TestSplitInvalidConfig(t *testing.T) {
+	if _, err := Split(trace.Trace{req(0, 0, 4)}, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestByRequestCount(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 10; i++ {
+		tr = append(tr, req(uint64(i), uint64(i*64), 64))
+	}
+	cfg := Config{Layers: []Layer{{Kind: TemporalRequestCount, Param: 4}}}
+	leaves, err := Split(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 3 {
+		t.Fatalf("got %d leaves, want 3 (4+4+2)", len(leaves))
+	}
+	if len(leaves[0].Reqs) != 4 || len(leaves[2].Reqs) != 2 {
+		t.Errorf("leaf sizes %d,%d,%d", len(leaves[0].Reqs), len(leaves[1].Reqs), len(leaves[2].Reqs))
+	}
+}
+
+func TestByCycleCount(t *testing.T) {
+	tr := trace.Trace{
+		req(100, 0, 4), req(150, 64, 4), // bin 0
+		req(250, 128, 4), // bin 1
+		// bin 2 empty
+		req(460, 192, 4), // bin 3
+	}
+	cfg := Config{Layers: []Layer{{Kind: TemporalCycleCount, Param: 100}}}
+	leaves, err := Split(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 3 {
+		t.Fatalf("got %d leaves, want 3 (empty bins skipped)", len(leaves))
+	}
+	if len(leaves[0].Reqs) != 2 {
+		t.Errorf("first interval has %d requests, want 2", len(leaves[0].Reqs))
+	}
+}
+
+func TestByCycleCountAnchoredAtFirstRequest(t *testing.T) {
+	// Bins are relative to the first timestamp, not absolute zero.
+	tr := trace.Trace{req(1000, 0, 4), req(1050, 64, 4), req(1150, 128, 4)}
+	cfg := Config{Layers: []Layer{{Kind: TemporalCycleCount, Param: 100}}}
+	leaves, _ := Split(tr, cfg)
+	if len(leaves) != 2 {
+		t.Fatalf("got %d leaves, want 2", len(leaves))
+	}
+}
+
+func TestByFixedBlock(t *testing.T) {
+	tr := trace.Trace{
+		req(0, 10, 4), req(1, 5000, 4), req(2, 20, 4), req(3, 4099, 4),
+	}
+	leaves := ByFixedBlock(tr, 4096)
+	if len(leaves) != 2 {
+		t.Fatalf("got %d leaves, want 2", len(leaves))
+	}
+	// Leaves sorted by block; bounds are whole blocks.
+	if leaves[0].Lo != 0 || leaves[0].Hi != 4096 {
+		t.Errorf("block 0 bounds = [%d,%d)", leaves[0].Lo, leaves[0].Hi)
+	}
+	if leaves[1].Lo != 4096 || leaves[1].Hi != 8192 {
+		t.Errorf("block 1 bounds = [%d,%d)", leaves[1].Lo, leaves[1].Hi)
+	}
+	// Input order preserved within a block.
+	if leaves[0].Reqs[0].Addr != 10 || leaves[0].Reqs[1].Addr != 20 {
+		t.Errorf("block 0 order: %v", leaves[0].Reqs)
+	}
+}
+
+func TestHierarchyTemporalThenSpatial(t *testing.T) {
+	// Two time windows, each touching two separate regions.
+	tr := trace.Trace{
+		req(0, 0, 64), req(10, 64, 64), req(20, 10000, 64), req(30, 10064, 64),
+		req(2000, 0, 64), req(2010, 64, 64), req(2020, 10000, 64), req(2030, 10064, 64),
+	}
+	leaves, err := Split(tr, TwoLevelTS(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 4 {
+		t.Fatalf("got %d leaves, want 4 (2 windows x 2 regions)", len(leaves))
+	}
+}
+
+func TestHierarchySpatialThenTemporal(t *testing.T) {
+	// Spatial first, temporal second: temporal children inherit the
+	// parent's spatial bounds.
+	tr := trace.Trace{
+		req(0, 0, 64), req(1000, 64, 64), req(2000, 0, 64), req(3000, 64, 64),
+	}
+	cfg := Config{Layers: []Layer{
+		{Kind: SpatialDynamic},
+		{Kind: TemporalRequestCount, Param: 2},
+	}}
+	leaves, err := Split(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 2 {
+		t.Fatalf("got %d leaves, want 2", len(leaves))
+	}
+	for _, l := range leaves {
+		if l.Lo != 0 || l.Hi != 128 {
+			t.Errorf("leaf did not inherit spatial bounds: [%d,%d)", l.Lo, l.Hi)
+		}
+	}
+}
+
+func TestThreeLevelHierarchy(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 100; i++ {
+		tr = append(tr, req(uint64(i*10), uint64((i%4)*100000+i*8), 8))
+	}
+	cfg := Config{Layers: []Layer{
+		{Kind: TemporalCycleCount, Param: 300},
+		{Kind: SpatialDynamic},
+		{Kind: TemporalRequestCount, Param: 5},
+	}}
+	leaves, err := Split(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, l := range leaves {
+		total += len(l.Reqs)
+		if len(l.Reqs) > 5 {
+			t.Errorf("leaf exceeds innermost request bound: %d", len(l.Reqs))
+		}
+	}
+	if total != len(tr) {
+		t.Errorf("leaves hold %d requests, want %d", total, len(tr))
+	}
+}

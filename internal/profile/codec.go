@@ -1,0 +1,243 @@
+package profile
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/markov"
+)
+
+// The profile format uses varint-encoded records wrapped in gzip. The
+// paper serialises profiles with protobuf + gzip; varints give the same
+// compactness properties with only the standard library, keeping the
+// Fig. 17 size comparison faithful.
+
+const (
+	profileMagic   = 0x4d50524f // "MPRO"
+	profileVersion = 1
+
+	modelConstant = 0
+	modelMarkov   = 1
+)
+
+// Write serialises the profile (uncompressed varint records).
+func Write(w io.Writer, p *Profile) error {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	putVarint := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	putString := func(s string) {
+		putUvarint(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	putModel := func(m *markov.Model) {
+		if m.Constant {
+			buf.WriteByte(modelConstant)
+			putVarint(m.Value)
+			return
+		}
+		buf.WriteByte(modelMarkov)
+		putVarint(m.Initial)
+		putUvarint(uint64(len(m.Rows)))
+		for _, r := range m.Rows {
+			putVarint(r.From)
+			putUvarint(uint64(len(r.Edges)))
+			for _, e := range r.Edges {
+				putVarint(e.To)
+				putUvarint(uint64(e.N))
+			}
+		}
+	}
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], profileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], profileVersion)
+	buf.Write(hdr[:])
+	putString(p.Name)
+	putString(p.Config)
+	putUvarint(uint64(len(p.Leaves)))
+	for i := range p.Leaves {
+		l := &p.Leaves[i]
+		putUvarint(l.StartTime)
+		putUvarint(l.StartAddr)
+		putUvarint(l.Lo)
+		putUvarint(l.Hi)
+		putUvarint(uint64(l.Count))
+		putModel(&l.DeltaTime)
+		putModel(&l.Stride)
+		putModel(&l.Op)
+		putModel(&l.Size)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Read deserialises a profile written by Write.
+func Read(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("profile: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != profileMagic {
+		return nil, errors.New("profile: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != profileVersion {
+		return nil, fmt.Errorf("profile: unsupported version %d", v)
+	}
+	getUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getVarint := func() (int64, error) { return binary.ReadVarint(br) }
+	getString := func() (string, error) {
+		n, err := getUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", errors.New("profile: string too long")
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	getModel := func() (markov.Model, error) {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return markov.Model{}, err
+		}
+		switch kind {
+		case modelConstant:
+			v, err := getVarint()
+			if err != nil {
+				return markov.Model{}, err
+			}
+			return markov.Model{Constant: true, Value: v, Initial: v}, nil
+		case modelMarkov:
+			initial, err := getVarint()
+			if err != nil {
+				return markov.Model{}, err
+			}
+			nRows, err := getUvarint()
+			if err != nil {
+				return markov.Model{}, err
+			}
+			m := markov.Model{Initial: initial, Rows: make([]markov.Row, 0, nRows)}
+			for i := uint64(0); i < nRows; i++ {
+				from, err := getVarint()
+				if err != nil {
+					return markov.Model{}, err
+				}
+				nEdges, err := getUvarint()
+				if err != nil {
+					return markov.Model{}, err
+				}
+				row := markov.Row{From: from, Edges: make([]markov.Edge, 0, nEdges)}
+				for j := uint64(0); j < nEdges; j++ {
+					to, err := getVarint()
+					if err != nil {
+						return markov.Model{}, err
+					}
+					n, err := getUvarint()
+					if err != nil {
+						return markov.Model{}, err
+					}
+					row.Edges = append(row.Edges, markov.Edge{To: to, N: uint32(n)})
+				}
+				m.Rows = append(m.Rows, row)
+			}
+			return m, nil
+		default:
+			return markov.Model{}, fmt.Errorf("profile: bad model kind %d", kind)
+		}
+	}
+
+	p := &Profile{}
+	var err error
+	if p.Name, err = getString(); err != nil {
+		return nil, err
+	}
+	if p.Config, err = getString(); err != nil {
+		return nil, err
+	}
+	nLeaves, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	p.Leaves = make([]Leaf, 0, nLeaves)
+	for i := uint64(0); i < nLeaves; i++ {
+		var l Leaf
+		if l.StartTime, err = getUvarint(); err != nil {
+			return nil, err
+		}
+		if l.StartAddr, err = getUvarint(); err != nil {
+			return nil, err
+		}
+		if l.Lo, err = getUvarint(); err != nil {
+			return nil, err
+		}
+		if l.Hi, err = getUvarint(); err != nil {
+			return nil, err
+		}
+		c, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		l.Count = uint32(c)
+		if l.DeltaTime, err = getModel(); err != nil {
+			return nil, err
+		}
+		if l.Stride, err = getModel(); err != nil {
+			return nil, err
+		}
+		if l.Op, err = getModel(); err != nil {
+			return nil, err
+		}
+		if l.Size, err = getModel(); err != nil {
+			return nil, err
+		}
+		p.Leaves = append(p.Leaves, l)
+	}
+	return p, nil
+}
+
+// WriteGzip writes the profile through gzip; this is the on-disk format.
+func WriteGzip(w io.Writer, p *Profile) error {
+	zw := gzip.NewWriter(w)
+	if err := Write(zw, p); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// ReadGzip reads a profile written by WriteGzip.
+func ReadGzip(r io.Reader) (*Profile, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return Read(zr)
+}
+
+// EncodedSize returns the gzip-compressed size of the profile in bytes,
+// used by the Fig. 17 metadata-overhead experiment.
+func EncodedSize(p *Profile) (int, error) {
+	var buf bytes.Buffer
+	if err := WriteGzip(&buf, p); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}

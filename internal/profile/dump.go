@@ -1,0 +1,41 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Dump writes a human-readable summary of the profile: overall
+// composition, then the largest leaves with their per-feature models.
+// It backs the `mocktails inspect` command; vendors can use it to review
+// exactly what information a profile discloses before distributing it.
+func Dump(w io.Writer, p *Profile, maxLeaves int) {
+	s := p.Stats()
+	fmt.Fprintf(w, "profile %q (hierarchy: %s)\n", p.Name, p.Config)
+	fmt.Fprintf(w, "  %d leaves, %d requests\n", s.Leaves, p.Requests())
+	fmt.Fprintf(w, "  feature models: %d constants, %d Markov chains (%d states total)\n",
+		s.Constants, s.Chains, s.States)
+
+	idx := make([]int, len(p.Leaves))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if p.Leaves[idx[a]].Count != p.Leaves[idx[b]].Count {
+			return p.Leaves[idx[a]].Count > p.Leaves[idx[b]].Count
+		}
+		return idx[a] < idx[b]
+	})
+	if maxLeaves <= 0 || maxLeaves > len(idx) {
+		maxLeaves = len(idx)
+	}
+	fmt.Fprintf(w, "  largest %d leaves:\n", maxLeaves)
+	for _, i := range idx[:maxLeaves] {
+		l := &p.Leaves[i]
+		fmt.Fprintf(w, "    leaf %d: start t=%d addr=0x%x range=[0x%x,0x%x) count=%d\n",
+			i, l.StartTime, l.StartAddr, l.Lo, l.Hi, l.Count)
+		fmt.Fprintf(w, "      dt=%s stride=%s op=%s size=%s\n",
+			l.DeltaTime.String(), l.Stride.String(), l.Op.String(), l.Size.String())
+	}
+}

@@ -1,0 +1,29 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestDump(t *testing.T) {
+	p, err := Build("dumpme", sampleTrace(), partition.TwoLevelTS(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	Dump(&sb, p, 3)
+	out := sb.String()
+	for _, want := range []string{`profile "dumpme"`, "leaves", "largest 3 leaves", "dt=", "stride="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Leaf cap larger than the profile: prints everything, no panic.
+	var sb2 strings.Builder
+	Dump(&sb2, p, 1<<20)
+	if !strings.Contains(sb2.String(), "leaf") {
+		t.Error("uncapped dump missing leaves")
+	}
+}

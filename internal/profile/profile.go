@@ -1,0 +1,134 @@
+// Package profile defines the Mocktails statistical profile: one McC model
+// per feature per leaf of the partitioning hierarchy, plus the per-leaf
+// bookkeeping (start time, start address, address range, request count)
+// that §III-B saves to minimise synthesis error. A profile is the artefact
+// industry would distribute in place of a proprietary trace.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Leaf models one partition. The four features are modelled independently
+// (the paper's deliberate obfuscation/simplicity trade-off).
+type Leaf struct {
+	// StartTime is the cycle at which this partition begins injecting.
+	StartTime uint64
+	// StartAddr is the address of the partition's first request.
+	StartAddr uint64
+	// Lo, Hi bound the addresses synthesis may generate, [Lo, Hi).
+	Lo, Hi uint64
+	// Count is the number of requests this leaf must synthesise.
+	Count uint32
+
+	// DeltaTime models the cycle gaps between consecutive requests.
+	DeltaTime markov.Model
+	// Stride models the address deltas between consecutive requests.
+	Stride markov.Model
+	// Op models the read/write sequence (0 = read, 1 = write).
+	Op markov.Model
+	// Size models the request-size sequence in bytes.
+	Size markov.Model
+}
+
+// Profile is a complete Mocktails statistical profile.
+type Profile struct {
+	// Name labels the workload the profile was built from.
+	Name string
+	// Config describes the hierarchy used, for provenance.
+	Config string
+	// Leaves holds one model per final partition.
+	Leaves []Leaf
+}
+
+// Build constructs a profile from a trace using the given hierarchical
+// configuration. The trace must be in injection (time) order.
+func Build(name string, t trace.Trace, cfg partition.Config) (*Profile, error) {
+	leaves, err := partition.Split(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{Name: name, Config: cfg.String(), Leaves: make([]Leaf, 0, len(leaves))}
+	for _, l := range leaves {
+		p.Leaves = append(p.Leaves, fitLeaf(l))
+	}
+	return p, nil
+}
+
+// fitLeaf fits the four McC models of one partition.
+func fitLeaf(l partition.Leaf) Leaf {
+	n := len(l.Reqs)
+	deltas := make([]int64, 0, n-1)
+	strides := make([]int64, 0, n-1)
+	ops := make([]int64, 0, n)
+	sizes := make([]int64, 0, n)
+	for i, r := range l.Reqs {
+		ops = append(ops, int64(r.Op))
+		sizes = append(sizes, int64(r.Size))
+		if i > 0 {
+			deltas = append(deltas, int64(r.Time-l.Reqs[i-1].Time))
+			strides = append(strides, int64(r.Addr)-int64(l.Reqs[i-1].Addr))
+		}
+	}
+	return Leaf{
+		StartTime: l.Reqs[0].Time,
+		StartAddr: l.Reqs[0].Addr,
+		Lo:        l.Lo,
+		Hi:        l.Hi,
+		Count:     uint32(n),
+		DeltaTime: markov.Fit(deltas),
+		Stride:    markov.Fit(strides),
+		Op:        markov.Fit(ops),
+		Size:      markov.Fit(sizes),
+	}
+}
+
+// Requests returns the total number of requests the profile synthesises.
+func (p *Profile) Requests() int {
+	n := 0
+	for _, l := range p.Leaves {
+		n += int(l.Count)
+	}
+	return n
+}
+
+// Stats summarises model composition for reporting: how many feature
+// models are constants versus Markov chains, and total Markov states.
+type Stats struct {
+	Leaves    int
+	Constants int
+	Chains    int
+	States    int
+}
+
+// Stats computes profile composition statistics.
+func (p *Profile) Stats() Stats {
+	s := Stats{Leaves: len(p.Leaves)}
+	count := func(m *markov.Model) {
+		if m.Constant {
+			s.Constants++
+		} else {
+			s.Chains++
+			s.States += m.States()
+		}
+	}
+	for i := range p.Leaves {
+		l := &p.Leaves[i]
+		count(&l.DeltaTime)
+		count(&l.Stride)
+		count(&l.Op)
+		count(&l.Size)
+	}
+	return s
+}
+
+// String summarises the profile.
+func (p *Profile) String() string {
+	s := p.Stats()
+	return fmt.Sprintf("Profile(%s: %d leaves, %d requests, %d constants, %d chains)",
+		p.Name, s.Leaves, p.Requests(), s.Constants, s.Chains)
+}

@@ -1,0 +1,209 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func req(t, a uint64, s uint32, op trace.Op) trace.Request {
+	return trace.Request{Time: t, Addr: a, Size: s, Op: op}
+}
+
+func sampleTrace() trace.Trace {
+	var tr trace.Trace
+	rng := stats.NewRNG(5)
+	tm := uint64(0)
+	for i := 0; i < 500; i++ {
+		tm += rng.Uint64n(100)
+		op := trace.Read
+		if rng.Bool(0.3) {
+			op = trace.Write
+		}
+		tr = append(tr, req(tm, uint64((i%7)*4096)+rng.Uint64n(1024), 64, op))
+	}
+	return tr
+}
+
+func TestBuildCountsAndLeaves(t *testing.T) {
+	tr := sampleTrace()
+	p, err := Build("sample", tr, partition.TwoLevelTS(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sample" {
+		t.Errorf("Name = %q", p.Name)
+	}
+	if p.Requests() != len(tr) {
+		t.Errorf("Requests() = %d, want %d", p.Requests(), len(tr))
+	}
+	if len(p.Leaves) == 0 {
+		t.Fatal("no leaves")
+	}
+	for i, l := range p.Leaves {
+		if l.Count == 0 {
+			t.Errorf("leaf %d has zero count", i)
+		}
+		if l.Hi <= l.Lo {
+			t.Errorf("leaf %d has empty bounds [%d,%d)", i, l.Lo, l.Hi)
+		}
+		if l.StartAddr < l.Lo || l.StartAddr >= l.Hi {
+			t.Errorf("leaf %d start address outside bounds", i)
+		}
+	}
+}
+
+func TestBuildSingleRequestLeaf(t *testing.T) {
+	tr := trace.Trace{req(10, 100, 64, trace.Write)}
+	p, err := Build("one", tr, partition.TwoLevelTS(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Leaves) != 1 || p.Leaves[0].Count != 1 {
+		t.Fatalf("unexpected profile: %+v", p.Leaves)
+	}
+	l := p.Leaves[0]
+	if !l.Op.Constant || l.Op.Value != int64(trace.Write) {
+		t.Errorf("op model = %+v, want constant write", l.Op)
+	}
+	if !l.Size.Constant || l.Size.Value != 64 {
+		t.Errorf("size model = %+v", l.Size)
+	}
+}
+
+func TestConstantFeaturesDetected(t *testing.T) {
+	// A pure linear read stream: stride, op and size are all constants.
+	var tr trace.Trace
+	for i := 0; i < 100; i++ {
+		tr = append(tr, req(uint64(i*10), uint64(i*64), 64, trace.Read))
+	}
+	p, err := Build("linear", tr, partition.TwoLevelTS(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Leaves) != 1 {
+		t.Fatalf("got %d leaves", len(p.Leaves))
+	}
+	l := p.Leaves[0]
+	if !l.Stride.Constant || l.Stride.Value != 64 {
+		t.Errorf("stride model = %v", l.Stride.String())
+	}
+	if !l.DeltaTime.Constant || l.DeltaTime.Value != 10 {
+		t.Errorf("dt model = %v", l.DeltaTime.String())
+	}
+	s := p.Stats()
+	if s.Chains != 0 || s.Constants != 4 {
+		t.Errorf("Stats = %+v, want all constants", s)
+	}
+}
+
+func TestStatsCountsChains(t *testing.T) {
+	tr := sampleTrace()
+	p, _ := Build("sample", tr, partition.TwoLevelTS(1000))
+	s := p.Stats()
+	if s.Leaves != len(p.Leaves) {
+		t.Errorf("Stats.Leaves = %d", s.Leaves)
+	}
+	if s.Constants+s.Chains != 4*s.Leaves {
+		t.Errorf("constants+chains = %d, want %d", s.Constants+s.Chains, 4*s.Leaves)
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	p, err := Build("roundtrip", sampleTrace(), partition.TwoLevelTS(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestGzipCodecRoundTrip(t *testing.T) {
+	p, err := Build("gz", sampleTrace(), partition.TwoLevelTS(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGzip(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGzip(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Error("gzip round trip mismatch")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("garbagegarbage"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	p, _ := Build("trunc", sampleTrace(), partition.TwoLevelTS(1000))
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Error("truncated profile accepted")
+	}
+}
+
+func TestEncodedSizeNonTrivial(t *testing.T) {
+	p, _ := Build("size", sampleTrace(), partition.TwoLevelTS(1000))
+	n, err := EncodedSize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Errorf("EncodedSize = %d", n)
+	}
+}
+
+func TestProfileSmallerThanTraceForRegularWorkload(t *testing.T) {
+	// The paper's Fig. 17 claim in miniature: a regular workload's
+	// profile is much smaller than its compressed trace.
+	var tr trace.Trace
+	for i := 0; i < 50000; i++ {
+		tr = append(tr, req(uint64(i*7), uint64(i%1000)*64, 64, trace.Read))
+	}
+	p, err := Build("regular", tr, partition.TwoLevelRequestCount(10000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSize, err := EncodedSize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb bytes.Buffer
+	if err := trace.WriteGzip(&tb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if pSize >= tb.Len() {
+		t.Errorf("profile (%d bytes) not smaller than trace (%d bytes)", pSize, tb.Len())
+	}
+}

@@ -1,0 +1,263 @@
+package stm
+
+import (
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// AddrModel is STM's address model: a stride pattern table keyed by the
+// recent stride history (longest-suffix match, histories of length 1 to
+// MaxHistory), plus a stack-distance table capturing temporal reuse used
+// when no history matches, plus a global stride histogram as the last
+// resort.
+type AddrModel struct {
+	// Pattern maps an encoded stride-history suffix to the observed
+	// next-stride counts.
+	Pattern map[string][]StrideCount
+	// Global is the unconditioned stride histogram.
+	Global []StrideCount
+	// StackDist[d] counts reuses of the address at LRU depth d in a
+	// StackRows-deep stack of recent addresses.
+	StackDist [StackRows]uint32
+}
+
+// StrideCount is one observed stride with its training count.
+type StrideCount struct {
+	Stride int64
+	N      uint32
+}
+
+// FitAddr builds the address model from a partition's address sequence.
+func FitAddr(addrs []uint64) AddrModel {
+	m := AddrModel{Pattern: make(map[string][]StrideCount)}
+	if len(addrs) < 2 {
+		return m
+	}
+	strides := make([]int64, len(addrs)-1)
+	for i := 1; i < len(addrs); i++ {
+		strides[i-1] = int64(addrs[i]) - int64(addrs[i-1])
+	}
+	global := make(map[int64]uint32)
+	for _, s := range strides {
+		global[s]++
+	}
+	m.Global = countsToSlice(global)
+
+	// Stride pattern table over every history suffix length.
+	for i := 1; i < len(strides); i++ {
+		maxH := i
+		if maxH > MaxHistory {
+			maxH = MaxHistory
+		}
+		for h := 1; h <= maxH; h++ {
+			key := encodeHistory(strides[i-h : i])
+			m.Pattern[key] = bumpStride(m.Pattern[key], strides[i])
+		}
+	}
+
+	// Stack distance table over the address stream, depth-limited to
+	// StackRows as in the paper's configuration.
+	var stack []uint64
+	for _, a := range addrs {
+		found := -1
+		for d, sa := range stack {
+			if sa == a {
+				found = d
+				break
+			}
+		}
+		if found >= 0 {
+			m.StackDist[found]++
+			stack = append(stack[:found], stack[found+1:]...)
+		}
+		stack = append([]uint64{a}, stack...)
+		if len(stack) > StackRows {
+			stack = stack[:StackRows]
+		}
+	}
+	return m
+}
+
+func countsToSlice(c map[int64]uint32) []StrideCount {
+	out := make([]StrideCount, 0, len(c))
+	for s, n := range c {
+		out = append(out, StrideCount{s, n})
+	}
+	// Deterministic order for reproducible generation.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Stride < out[j-1].Stride; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func bumpStride(row []StrideCount, s int64) []StrideCount {
+	for i := range row {
+		if row[i].Stride == s {
+			row[i].N++
+			return row
+		}
+	}
+	return append(row, StrideCount{s, 1})
+}
+
+// encodeHistory packs a stride history into a map key.
+func encodeHistory(h []int64) string {
+	b := make([]byte, 0, len(h)*8)
+	for _, s := range h {
+		u := uint64(s)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return string(b)
+}
+
+// addrGen generates an address sequence from an AddrModel with strict
+// convergence on the longest-matching pattern rows.
+type addrGen struct {
+	m       *AddrModel
+	rng     *stats.RNG
+	lo, hi  uint64
+	cur     uint64
+	hist    []int64
+	remain  map[string][]StrideCount // strict-convergence copies
+	stack   []uint64
+	sdTotal uint64
+	sd      [StackRows]uint32
+}
+
+func newAddrGen(m *AddrModel, start, lo, hi uint64, rng *stats.RNG) *addrGen {
+	g := &addrGen{m: m, rng: rng, lo: lo, hi: hi, cur: start,
+		remain: make(map[string][]StrideCount, len(m.Pattern))}
+	g.sd = m.StackDist
+	for _, n := range g.sd {
+		g.sdTotal += uint64(n)
+	}
+	g.stack = []uint64{start}
+	return g
+}
+
+// next produces the next address: longest-suffix stride-table match
+// first, then stack-distance reuse, then the global stride histogram.
+func (g *addrGen) next() uint64 {
+	stride, ok := g.patternStride()
+	var addr uint64
+	switch {
+	case ok:
+		addr = synth.WrapAddr(int64(g.cur)+stride, g.lo, g.hi)
+	case g.reuseAddr(&addr):
+		stride = int64(addr) - int64(g.cur)
+	default:
+		stride = g.globalStride()
+		addr = synth.WrapAddr(int64(g.cur)+stride, g.lo, g.hi)
+	}
+	g.pushHist(stride)
+	g.pushStack(addr)
+	g.cur = addr
+	return addr
+}
+
+// patternStride attempts a longest-suffix match in the pattern table,
+// consuming remaining counts (strict convergence) when it draws.
+func (g *addrGen) patternStride() (int64, bool) {
+	for h := len(g.hist); h >= 1; h-- {
+		key := encodeHistory(g.hist[len(g.hist)-h:])
+		row, ok := g.remain[key]
+		if !ok {
+			orig, exists := g.m.Pattern[key]
+			if !exists {
+				continue
+			}
+			row = make([]StrideCount, len(orig))
+			copy(row, orig)
+			g.remain[key] = row
+		}
+		var total uint64
+		for _, e := range row {
+			total += uint64(e.N)
+		}
+		if total == 0 {
+			// Exhausted row: redraw from the original distribution.
+			orig := g.m.Pattern[key]
+			var t uint64
+			for _, e := range orig {
+				t += uint64(e.N)
+			}
+			pick := g.rng.Uint64n(t)
+			for _, e := range orig {
+				if pick < uint64(e.N) {
+					return e.Stride, true
+				}
+				pick -= uint64(e.N)
+			}
+			continue
+		}
+		pick := g.rng.Uint64n(total)
+		for i := range row {
+			if pick < uint64(row[i].N) {
+				row[i].N--
+				return row[i].Stride, true
+			}
+			pick -= uint64(row[i].N)
+		}
+	}
+	return 0, false
+}
+
+// reuseAddr draws a stack distance and reuses the address at that depth.
+func (g *addrGen) reuseAddr(out *uint64) bool {
+	if g.sdTotal == 0 || len(g.stack) == 0 {
+		return false
+	}
+	pick := g.rng.Uint64n(g.sdTotal)
+	for d := 0; d < StackRows; d++ {
+		if pick < uint64(g.sd[d]) {
+			if d >= len(g.stack) {
+				d = len(g.stack) - 1
+			}
+			*out = g.stack[d]
+			return true
+		}
+		pick -= uint64(g.sd[d])
+	}
+	return false
+}
+
+func (g *addrGen) globalStride() int64 {
+	if len(g.m.Global) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, e := range g.m.Global {
+		total += uint64(e.N)
+	}
+	pick := g.rng.Uint64n(total)
+	for _, e := range g.m.Global {
+		if pick < uint64(e.N) {
+			return e.Stride
+		}
+		pick -= uint64(e.N)
+	}
+	return g.m.Global[0].Stride
+}
+
+func (g *addrGen) pushHist(s int64) {
+	g.hist = append(g.hist, s)
+	if len(g.hist) > MaxHistory {
+		g.hist = g.hist[1:]
+	}
+}
+
+func (g *addrGen) pushStack(a uint64) {
+	for d, sa := range g.stack {
+		if sa == a {
+			g.stack = append(g.stack[:d], g.stack[d+1:]...)
+			break
+		}
+	}
+	g.stack = append([]uint64{a}, g.stack...)
+	if len(g.stack) > StackRows {
+		g.stack = g.stack[:StackRows]
+	}
+}

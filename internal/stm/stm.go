@@ -1,0 +1,186 @@
+// Package stm implements the STM baseline (Awad & Solihin, "STM: Cloning
+// the Spatial and Temporal Memory Access Behavior", HPCA 2014) as used in
+// the paper's §IV comparison: within the same Mocktails hierarchy, the
+// address and operation features are modelled by STM instead of McC.
+//
+//   - Addresses use a stride pattern table keyed by a history of up to the
+//     last 8 strides (longest-suffix match with back-off), with a 32-row
+//     stack-distance table as the temporal-reuse fallback — the table
+//     sizes the paper chose for its smaller per-leaf request counts.
+//   - Operations use a single read probability with strict convergence,
+//     so the exact read/write counts are reproduced but not their order —
+//     the error source the paper highlights in Figs. 9–11.
+//   - Delta-time and size reuse the McC models, exactly as in the paper.
+package stm
+
+import (
+	"repro/internal/markov"
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// MaxHistory is the maximum stride-history length in the pattern table.
+const MaxHistory = 8
+
+// StackRows is the number of rows in the stack distance table.
+const StackRows = 32
+
+// Leaf is the STM model of one partition.
+type Leaf struct {
+	StartTime uint64
+	StartAddr uint64
+	Lo, Hi    uint64
+	Count     uint32
+
+	// Reads and Writes are the exact operation counts (strict
+	// convergence for the single-probability operation model).
+	Reads, Writes uint32
+
+	// DeltaTime and Size reuse McC.
+	DeltaTime markov.Model
+	Size      markov.Model
+
+	// Addr is the stride-pattern + stack-distance address model.
+	Addr AddrModel
+}
+
+// Profile is a complete STM profile of a workload.
+type Profile struct {
+	Name   string
+	Leaves []Leaf
+}
+
+// Build fits an STM profile using the same partitioning hierarchy as
+// Mocktails.
+func Build(name string, t trace.Trace, cfg partition.Config) (*Profile, error) {
+	leaves, err := partition.Split(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{Name: name, Leaves: make([]Leaf, 0, len(leaves))}
+	for _, l := range leaves {
+		p.Leaves = append(p.Leaves, fitLeaf(l))
+	}
+	return p, nil
+}
+
+func fitLeaf(l partition.Leaf) Leaf {
+	n := len(l.Reqs)
+	deltas := make([]int64, 0, n-1)
+	sizes := make([]int64, 0, n)
+	var reads, writes uint32
+	addrs := make([]uint64, 0, n)
+	for i, r := range l.Reqs {
+		sizes = append(sizes, int64(r.Size))
+		addrs = append(addrs, r.Addr)
+		if r.Op == trace.Read {
+			reads++
+		} else {
+			writes++
+		}
+		if i > 0 {
+			deltas = append(deltas, int64(r.Time-l.Reqs[i-1].Time))
+		}
+	}
+	return Leaf{
+		StartTime: l.Reqs[0].Time,
+		StartAddr: l.Reqs[0].Addr,
+		Lo:        l.Lo,
+		Hi:        l.Hi,
+		Count:     uint32(n),
+		Reads:     reads,
+		Writes:    writes,
+		DeltaTime: markov.Fit(deltas),
+		Size:      markov.Fit(sizes),
+		Addr:      FitAddr(addrs),
+	}
+}
+
+// Synthesize returns a trace.Source that regenerates the workload from
+// the STM profile, using the same priority-queue injection process as
+// Mocktails so the comparison isolates the leaf models.
+func Synthesize(p *Profile, seed uint64) trace.Source {
+	rng := stats.NewRNG(seed)
+	gens := make([]synth.Gen, 0, len(p.Leaves))
+	for i := range p.Leaves {
+		if g := newLeafGen(&p.Leaves[i], rng.Fork()); g != nil {
+			gens = append(gens, g)
+		}
+	}
+	return synth.NewMerger(gens)
+}
+
+// leafGen generates one partition's requests from the STM models.
+type leafGen struct {
+	leaf    *Leaf
+	dt      *markov.Generator
+	size    *markov.Generator
+	addr    *addrGen
+	rng     *stats.RNG
+	reads   uint32
+	writes  uint32
+	emitted uint32
+	pending trace.Request
+}
+
+func newLeafGen(l *Leaf, rng *stats.RNG) *leafGen {
+	if l.Count == 0 {
+		return nil
+	}
+	g := &leafGen{
+		leaf:   l,
+		dt:     markov.NewGenerator(&l.DeltaTime, rng.Fork()),
+		size:   markov.NewGenerator(&l.Size, rng.Fork()),
+		addr:   newAddrGen(&l.Addr, l.StartAddr, l.Lo, l.Hi, rng.Fork()),
+		rng:    rng,
+		reads:  l.Reads,
+		writes: l.Writes,
+	}
+	g.pending = trace.Request{
+		Time: l.StartTime,
+		Addr: l.StartAddr,
+		Op:   g.nextOp(),
+		Size: synth.SizeFromValue(g.size.Next()),
+	}
+	g.emitted = 1
+	return g
+}
+
+// nextOp draws read/write from the single-probability model under strict
+// convergence (remaining counts are consumed without replacement).
+func (g *leafGen) nextOp() trace.Op {
+	total := g.reads + g.writes
+	if total == 0 {
+		return trace.Read
+	}
+	if g.rng.Uint64n(uint64(total)) < uint64(g.reads) {
+		g.reads--
+		return trace.Read
+	}
+	g.writes--
+	return trace.Write
+}
+
+// Pending returns the generated-but-unemitted request.
+func (g *leafGen) Pending() trace.Request { return g.pending }
+
+// Advance generates the next request of the partition.
+func (g *leafGen) Advance() bool {
+	if g.emitted >= g.leaf.Count {
+		return false
+	}
+	g.emitted++
+	dt := g.dt.Next()
+	if dt < 0 {
+		dt = 0
+	}
+	g.pending = trace.Request{
+		Time: g.pending.Time + uint64(dt),
+		Addr: g.addr.next(),
+		Op:   g.nextOp(),
+		Size: synth.SizeFromValue(g.size.Next()),
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package stm
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func workload(seed uint64, n int) trace.Trace {
+	rng := stats.NewRNG(seed)
+	var tr trace.Trace
+	tm := uint64(0)
+	for i := 0; i < n; i++ {
+		tm += rng.Uint64n(40)
+		op := trace.Read
+		if rng.Bool(0.35) {
+			op = trace.Write
+		}
+		tr = append(tr, trace.Request{
+			Time: tm,
+			Addr: uint64((i%4)*32768) + uint64(i%10)*64,
+			Size: 64,
+			Op:   op,
+		})
+	}
+	return tr
+}
+
+func TestBuildLeafCounts(t *testing.T) {
+	tr := workload(1, 2000)
+	p, err := Build("w", tr, partition.TwoLevelTS(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, l := range p.Leaves {
+		total += int(l.Count)
+		if int(l.Reads+l.Writes) != int(l.Count) {
+			t.Errorf("leaf op counts %d+%d != %d", l.Reads, l.Writes, l.Count)
+		}
+	}
+	if total != len(tr) {
+		t.Errorf("leaves hold %d requests, want %d", total, len(tr))
+	}
+}
+
+func TestBuildInvalidConfig(t *testing.T) {
+	if _, err := Build("w", workload(2, 10), partition.Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSynthesizeCountAndOrder(t *testing.T) {
+	tr := workload(3, 2000)
+	p, err := Build("w", tr, partition.TwoLevelTS(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Collect(Synthesize(p, 5), 0)
+	if len(got) != len(tr) {
+		t.Errorf("synthesised %d, want %d", len(got), len(tr))
+	}
+	if !got.Sorted() {
+		t.Error("STM synthetic stream unsorted")
+	}
+}
+
+func TestSynthesizeExactOpCounts(t *testing.T) {
+	// The paper: strict convergence makes STM produce the exact number
+	// of reads and writes too.
+	tr := workload(4, 3000)
+	wantR, wantW := tr.Counts()
+	p, err := Build("w", tr, partition.TwoLevelTS(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Collect(Synthesize(p, 7), 0)
+	gotR, gotW := got.Counts()
+	if gotR != wantR || gotW != wantW {
+		t.Errorf("op counts %d/%d, want %d/%d", gotR, gotW, wantR, wantW)
+	}
+}
+
+func TestSynthesizeAddressesInRange(t *testing.T) {
+	tr := workload(5, 1500)
+	lo, hi := tr.AddrRange()
+	p, err := Build("w", tr, partition.TwoLevelTS(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Collect(Synthesize(p, 9), 0)
+	for _, r := range got {
+		if r.Addr < lo || r.Addr >= hi {
+			t.Fatalf("address 0x%x outside [0x%x,0x%x)", r.Addr, lo, hi)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	tr := workload(6, 1000)
+	p, _ := Build("w", tr, partition.TwoLevelTS(500))
+	a := trace.Collect(Synthesize(p, 3), 0)
+	b := trace.Collect(Synthesize(p, 3), 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestFitAddrConstantStride(t *testing.T) {
+	addrs := []uint64{0, 64, 128, 192, 256}
+	m := FitAddr(addrs)
+	if len(m.Global) != 1 || m.Global[0].Stride != 64 {
+		t.Errorf("global strides = %+v", m.Global)
+	}
+	if len(m.Pattern) == 0 {
+		t.Error("no pattern rows for strided sequence")
+	}
+}
+
+func TestFitAddrEmptyAndSingle(t *testing.T) {
+	if m := FitAddr(nil); len(m.Global) != 0 {
+		t.Error("empty FitAddr has strides")
+	}
+	if m := FitAddr([]uint64{42}); len(m.Global) != 0 {
+		t.Error("single-address FitAddr has strides")
+	}
+}
+
+func TestFitAddrStackDistance(t *testing.T) {
+	// a b a b: each reuse at stack depth 1.
+	addrs := []uint64{0, 4096, 0, 4096}
+	m := FitAddr(addrs)
+	if m.StackDist[1] != 2 {
+		t.Errorf("StackDist[1] = %d, want 2", m.StackDist[1])
+	}
+}
+
+func TestAddrGenReproducesConstantStride(t *testing.T) {
+	addrs := []uint64{1000, 1064, 1128, 1192, 1256, 1320}
+	m := FitAddr(addrs)
+	g := newAddrGen(&m, addrs[0], 1000, 1384, stats.NewRNG(1))
+	for i := 1; i < len(addrs); i++ {
+		got := g.next()
+		if got != addrs[i] {
+			t.Fatalf("addr %d = %d, want %d", i, got, addrs[i])
+		}
+	}
+}
+
+func TestAddrGenStaysInRange(t *testing.T) {
+	rng := stats.NewRNG(2)
+	addrs := make([]uint64, 200)
+	for i := range addrs {
+		addrs[i] = 5000 + rng.Uint64n(3000)
+	}
+	m := FitAddr(addrs)
+	g := newAddrGen(&m, addrs[0], 5000, 8000, stats.NewRNG(3))
+	for i := 0; i < 500; i++ {
+		if a := g.next(); a < 5000 || a >= 8000 {
+			t.Fatalf("generated address %d outside range", a)
+		}
+	}
+}
+
+func TestEncodeHistoryDistinct(t *testing.T) {
+	a := encodeHistory([]int64{1, 2})
+	b := encodeHistory([]int64{2, 1})
+	c := encodeHistory([]int64{1, 2, 3})
+	if a == b || a == c {
+		t.Error("history encodings collide")
+	}
+}
+
+func TestStrideCountsSorted(t *testing.T) {
+	m := FitAddr([]uint64{0, 100, 50, 300, 200})
+	for i := 1; i < len(m.Global); i++ {
+		if m.Global[i].Stride <= m.Global[i-1].Stride {
+			t.Fatal("global strides not sorted")
+		}
+	}
+}

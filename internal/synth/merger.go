@@ -1,0 +1,82 @@
+package synth
+
+import (
+	"container/heap"
+
+	"repro/internal/trace"
+)
+
+// Gen is a per-partition request generator: Pending returns the request
+// that has been generated but not yet emitted, and Advance generates the
+// next one, returning false when the partition is exhausted. Both the
+// Mocktails and the STM baseline leaf generators implement Gen, sharing
+// the same priority-queue injection process (Fig. 5).
+type Gen interface {
+	Pending() trace.Request
+	Advance() bool
+}
+
+// Merger merges the partial orders of many generators into a total order
+// by timestamp, implementing trace.Source including backpressure delay.
+type Merger struct {
+	pq    mergeHeap
+	shift uint64
+}
+
+// NewMerger builds a merger over the given generators; nil entries are
+// skipped.
+func NewMerger(gens []Gen) *Merger {
+	m := &Merger{}
+	m.pq = make(mergeHeap, 0, len(gens))
+	for i, g := range gens {
+		if g != nil {
+			m.pq = append(m.pq, mergeEntry{g: g, order: i})
+		}
+	}
+	heap.Init(&m.pq)
+	return m
+}
+
+// Next returns the globally next request.
+func (m *Merger) Next() (trace.Request, bool) {
+	if len(m.pq) == 0 {
+		return trace.Request{}, false
+	}
+	e := &m.pq[0]
+	req := e.g.Pending()
+	req.Time += m.shift
+	if e.g.Advance() {
+		heap.Fix(&m.pq, 0)
+	} else {
+		heap.Pop(&m.pq)
+	}
+	return req, true
+}
+
+// Delay adds backpressure delay to all not-yet-emitted requests.
+func (m *Merger) Delay(cycles uint64) { m.shift += cycles }
+
+type mergeEntry struct {
+	g     Gen
+	order int
+}
+
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	ti, tj := h[i].g.Pending().Time, h[j].g.Pending().Time
+	if ti != tj {
+		return ti < tj
+	}
+	return h[i].order < h[j].order
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

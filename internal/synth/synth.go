@@ -1,0 +1,125 @@
+// Package synth implements Mocktails' synthesis step (§III-C). Every leaf
+// of the statistical profile is an independent request generator; a
+// priority queue ordered by timestamp merges their partial orders into the
+// total order injected into the simulator. Addresses that stray outside a
+// leaf's memory region are wrapped (modulo) back inside, and simulator
+// backpressure is fed back by delaying all not-yet-emitted requests.
+package synth
+
+import (
+	"repro/internal/markov"
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Synthesizer generates a request stream from a profile. It implements
+// trace.Source, so it can drive the simulators exactly like a trace
+// replayer. A Synthesizer is single-use.
+type Synthesizer struct {
+	*Merger
+}
+
+// New returns a Synthesizer for the profile, seeded deterministically:
+// the same profile and seed always produce the same stream.
+func New(p *profile.Profile, seed uint64) *Synthesizer {
+	rng := stats.NewRNG(seed)
+	gens := make([]Gen, 0, len(p.Leaves))
+	for i := range p.Leaves {
+		if g := newLeafGen(&p.Leaves[i], rng.Fork()); g != nil {
+			gens = append(gens, g)
+		}
+	}
+	return &Synthesizer{Merger: NewMerger(gens)}
+}
+
+// leafGen lazily generates the requests of one leaf. pending always holds
+// the request that has been generated but not yet emitted.
+type leafGen struct {
+	leaf    *profile.Leaf
+	dt      *markov.Generator
+	stride  *markov.Generator
+	op      *markov.Generator
+	size    *markov.Generator
+	emitted uint32
+	pending trace.Request
+}
+
+func newLeafGen(l *profile.Leaf, rng *stats.RNG) *leafGen {
+	if l.Count == 0 {
+		return nil
+	}
+	g := &leafGen{
+		leaf:   l,
+		dt:     markov.NewGenerator(&l.DeltaTime, rng.Fork()),
+		stride: markov.NewGenerator(&l.Stride, rng.Fork()),
+		op:     markov.NewGenerator(&l.Op, rng.Fork()),
+		size:   markov.NewGenerator(&l.Size, rng.Fork()),
+	}
+	g.pending = trace.Request{
+		Time: l.StartTime,
+		Addr: l.StartAddr,
+		Op:   OpFromValue(g.op.Next()),
+		Size: SizeFromValue(g.size.Next()),
+	}
+	g.emitted = 1
+	return g
+}
+
+// Pending returns the generated-but-unemitted request.
+func (g *leafGen) Pending() trace.Request { return g.pending }
+
+// Advance generates the leaf's next request; it returns false when the
+// leaf has produced all Count requests.
+func (g *leafGen) Advance() bool {
+	if g.emitted >= g.leaf.Count {
+		return false
+	}
+	g.emitted++
+	dt := g.dt.Next()
+	if dt < 0 {
+		dt = 0
+	}
+	g.pending = trace.Request{
+		Time: g.pending.Time + uint64(dt),
+		Addr: WrapAddr(int64(g.pending.Addr)+g.stride.Next(), g.leaf.Lo, g.leaf.Hi),
+		Op:   OpFromValue(g.op.Next()),
+		Size: SizeFromValue(g.size.Next()),
+	}
+	return true
+}
+
+// WrapAddr folds an address back into the [lo, hi) region, preserving
+// spatial locality as described in §III-C ("we modulo the address back
+// into the range").
+func WrapAddr(addr int64, lo, hi uint64) uint64 {
+	span := int64(hi) - int64(lo)
+	if span <= 0 {
+		return lo
+	}
+	rel := (addr - int64(lo)) % span
+	if rel < 0 {
+		rel += span
+	}
+	return uint64(int64(lo) + rel)
+}
+
+// OpFromValue converts a modelled feature value back to an operation.
+func OpFromValue(v int64) trace.Op {
+	if v == int64(trace.Write) {
+		return trace.Write
+	}
+	return trace.Read
+}
+
+// SizeFromValue converts a modelled feature value back to a request size,
+// clamped to a sane range.
+func SizeFromValue(v int64) uint32 {
+	if v < 1 {
+		return 1
+	}
+	if v > 1<<20 {
+		return 1 << 20
+	}
+	return uint32(v)
+}

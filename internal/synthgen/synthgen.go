@@ -1,0 +1,193 @@
+// Package synthgen is a small declarative workload description language:
+// a Spec lists phases, each phase runs several concurrent streams
+// (strided walks, random regions, or bursty mixes), and the generator
+// turns the spec into a deterministic trace. It complements the
+// hand-written device proxies in package workloads — users can describe
+// their own IP's behaviour in JSON and feed it to tracegen without
+// writing Go (the `tracegen -spec-file` flag).
+package synthgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Spec is a complete workload description.
+type Spec struct {
+	// Name labels the workload.
+	Name string `json:"name"`
+	// Seed drives all randomness; the same spec+seed yields the same
+	// trace.
+	Seed uint64 `json:"seed"`
+	// Phases run one after another.
+	Phases []Phase `json:"phases"`
+}
+
+// Phase is a group of concurrent streams, optionally repeated with idle
+// gaps between repeats.
+type Phase struct {
+	// Repeat is how many times the phase body runs (default 1).
+	Repeat int `json:"repeat,omitempty"`
+	// IdleAfter is the idle gap in cycles after each repeat.
+	IdleAfter uint64 `json:"idle_after,omitempty"`
+	// Streams run concurrently within the phase, interleaved by time.
+	Streams []Stream `json:"streams"`
+}
+
+// Stream is one address stream.
+type Stream struct {
+	// Base is the starting byte address.
+	Base uint64 `json:"base"`
+	// Stride is the address step per request; ignored when RandomIn is
+	// set.
+	Stride int64 `json:"stride,omitempty"`
+	// RandomIn, when non-zero, draws addresses uniformly from
+	// [Base, Base+RandomIn) (aligned to Size) instead of striding.
+	RandomIn uint64 `json:"random_in,omitempty"`
+	// Count is the number of requests per phase repeat.
+	Count int `json:"count"`
+	// Size is the request size in bytes (default 64).
+	Size uint32 `json:"size,omitempty"`
+	// WriteFrac is the probability a request is a write (0 = all
+	// reads, 1 = all writes).
+	WriteFrac float64 `json:"write_frac,omitempty"`
+	// Gap is the mean cycle gap between the stream's requests (default
+	// 10); GapJitter its uniform half-width.
+	Gap       uint64 `json:"gap,omitempty"`
+	GapJitter uint64 `json:"gap_jitter,omitempty"`
+	// Burst, when > 1, emits requests in back-to-back groups of this
+	// many, with Gap applying between groups.
+	Burst int `json:"burst,omitempty"`
+	// AdvancePerRepeat shifts Base by this many bytes on each phase
+	// repeat (e.g. per-frame buffer advance).
+	AdvancePerRepeat uint64 `json:"advance_per_repeat,omitempty"`
+}
+
+// Validate checks the spec for structural problems.
+func (s *Spec) Validate() error {
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("synthgen: spec %q has no phases", s.Name)
+	}
+	for pi, p := range s.Phases {
+		if len(p.Streams) == 0 {
+			return fmt.Errorf("synthgen: phase %d has no streams", pi)
+		}
+		for si, st := range p.Streams {
+			if st.Count <= 0 {
+				return fmt.Errorf("synthgen: phase %d stream %d: count must be positive", pi, si)
+			}
+			if st.WriteFrac < 0 || st.WriteFrac > 1 {
+				return fmt.Errorf("synthgen: phase %d stream %d: write_frac out of [0,1]", pi, si)
+			}
+		}
+	}
+	return nil
+}
+
+// Generate turns the spec into a time-sorted trace.
+func (s *Spec) Generate() (trace.Trace, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(s.Seed)
+	var out trace.Trace
+	now := uint64(0)
+	for _, p := range s.Phases {
+		repeats := p.Repeat
+		if repeats < 1 {
+			repeats = 1
+		}
+		for rep := 0; rep < repeats; rep++ {
+			end := now
+			for _, st := range p.Streams {
+				streamEnd := emitStream(&out, st, rep, now, rng.Fork())
+				if streamEnd > end {
+					end = streamEnd
+				}
+			}
+			now = end + p.IdleAfter
+		}
+	}
+	out.SortByTime()
+	return out, nil
+}
+
+// emitStream appends one stream's requests starting at startTime and
+// returns the time of its last request.
+func emitStream(out *trace.Trace, st Stream, rep int, startTime uint64, rng *stats.RNG) uint64 {
+	size := st.Size
+	if size == 0 {
+		size = 64
+	}
+	gap := st.Gap
+	if gap == 0 {
+		gap = 10
+	}
+	burst := st.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	base := st.Base + uint64(rep)*st.AdvancePerRepeat
+	addr := base
+	t := startTime
+	for i := 0; i < st.Count; i++ {
+		if i > 0 {
+			if i%burst == 0 {
+				t += jitter(rng, gap, st.GapJitter)
+			} else {
+				t += 1 + rng.Uint64n(2)
+			}
+		}
+		if st.RandomIn > 0 {
+			slots := st.RandomIn / uint64(size)
+			if slots == 0 {
+				slots = 1
+			}
+			addr = base + rng.Uint64n(slots)*uint64(size)
+		} else if i > 0 {
+			addr = uint64(int64(addr) + st.Stride)
+		}
+		op := trace.Read
+		if st.WriteFrac > 0 && rng.Bool(st.WriteFrac) {
+			op = trace.Write
+		}
+		*out = append(*out, trace.Request{Time: t, Addr: addr, Size: size, Op: op})
+	}
+	return t
+}
+
+func jitter(rng *stats.RNG, base, spread uint64) uint64 {
+	if spread == 0 {
+		return base
+	}
+	v := int64(base) + int64(rng.Uint64n(2*spread+1)) - int64(spread)
+	if v < 1 {
+		v = 1
+	}
+	return uint64(v)
+}
+
+// Parse reads a JSON spec.
+func Parse(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("synthgen: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Write serialises the spec as indented JSON.
+func (s *Spec) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,260 @@
+package synthgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func linearSpec() *Spec {
+	return &Spec{
+		Name: "linear",
+		Seed: 1,
+		Phases: []Phase{{
+			Streams: []Stream{{Base: 0x1000, Stride: 64, Count: 100, Gap: 10}},
+		}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Spec{}).Validate(); err == nil {
+		t.Error("empty spec validated")
+	}
+	if err := (&Spec{Phases: []Phase{{}}}).Validate(); err == nil {
+		t.Error("streamless phase validated")
+	}
+	bad := &Spec{Phases: []Phase{{Streams: []Stream{{Count: 0}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero count validated")
+	}
+	badFrac := &Spec{Phases: []Phase{{Streams: []Stream{{Count: 1, WriteFrac: 1.5}}}}}
+	if err := badFrac.Validate(); err == nil {
+		t.Error("write_frac 1.5 validated")
+	}
+	if err := linearSpec().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestGenerateLinear(t *testing.T) {
+	tr, err := linearSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 100 {
+		t.Fatalf("got %d requests", len(tr))
+	}
+	if !tr.Sorted() {
+		t.Error("unsorted")
+	}
+	for i, r := range tr {
+		if r.Addr != 0x1000+uint64(i*64) {
+			t.Fatalf("request %d addr 0x%x", i, r.Addr)
+		}
+		if r.Size != 64 || r.Op != trace.Read {
+			t.Fatalf("request %d = %v", i, r)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := &Spec{
+		Seed: 9,
+		Phases: []Phase{{
+			Streams: []Stream{{Base: 0, RandomIn: 1 << 16, Count: 500, WriteFrac: 0.4, GapJitter: 5, Gap: 12}},
+		}},
+	}
+	a, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Generate()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same spec+seed diverged")
+		}
+	}
+}
+
+func TestRandomInBounds(t *testing.T) {
+	s := &Spec{
+		Seed: 2,
+		Phases: []Phase{{
+			Streams: []Stream{{Base: 0x8000, RandomIn: 4096, Count: 1000, Size: 32}},
+		}},
+	}
+	tr, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr {
+		if r.Addr < 0x8000 || r.Addr >= 0x8000+4096 {
+			t.Fatalf("address 0x%x outside random region", r.Addr)
+		}
+		if r.Addr%32 != 0 {
+			t.Fatalf("address 0x%x not size-aligned", r.Addr)
+		}
+	}
+}
+
+func TestConcurrentStreamsInterleave(t *testing.T) {
+	s := &Spec{
+		Seed: 3,
+		Phases: []Phase{{
+			Streams: []Stream{
+				{Base: 0x1000, Stride: 64, Count: 50, Gap: 10},
+				{Base: 0x900000, Stride: 64, Count: 50, Gap: 10},
+			},
+		}},
+	}
+	tr, _ := s.Generate()
+	// Both regions appear in the first quarter of the trace.
+	seenA, seenB := false, false
+	for _, r := range tr[:25] {
+		if r.Addr < 0x10000 {
+			seenA = true
+		} else {
+			seenB = true
+		}
+	}
+	if !seenA || !seenB {
+		t.Error("streams did not interleave in time")
+	}
+}
+
+func TestPhasesSequential(t *testing.T) {
+	s := &Spec{
+		Seed: 4,
+		Phases: []Phase{
+			{Streams: []Stream{{Base: 0, Stride: 64, Count: 10, Gap: 5}}},
+			{Streams: []Stream{{Base: 0x10000, Stride: 64, Count: 10, Gap: 5}}},
+		},
+	}
+	tr, _ := s.Generate()
+	// Phase 2's first request comes after phase 1's last.
+	var lastP1, firstP2 uint64
+	for _, r := range tr {
+		if r.Addr < 0x10000 {
+			lastP1 = r.Time
+		} else if firstP2 == 0 {
+			firstP2 = r.Time
+		}
+	}
+	if firstP2 < lastP1 {
+		t.Errorf("phase 2 started at %d before phase 1 ended at %d", firstP2, lastP1)
+	}
+}
+
+func TestRepeatWithIdleAndAdvance(t *testing.T) {
+	s := &Spec{
+		Seed: 5,
+		Phases: []Phase{{
+			Repeat:    3,
+			IdleAfter: 1_000_000,
+			Streams:   []Stream{{Base: 0x1000, Stride: 64, Count: 10, Gap: 5, AdvancePerRepeat: 0x10000}},
+		}},
+	}
+	tr, _ := s.Generate()
+	if len(tr) != 30 {
+		t.Fatalf("got %d requests", len(tr))
+	}
+	// Repeats are separated by the idle gap.
+	var maxGap uint64
+	for i := 1; i < len(tr); i++ {
+		if g := tr[i].Time - tr[i-1].Time; g > maxGap {
+			maxGap = g
+		}
+	}
+	if maxGap < 1_000_000 {
+		t.Errorf("max gap %d, want >= idle 1M", maxGap)
+	}
+	// Bases advanced per repeat.
+	if tr[10].Addr != 0x11000 || tr[20].Addr != 0x21000 {
+		t.Errorf("advance_per_repeat not applied: 0x%x 0x%x", tr[10].Addr, tr[20].Addr)
+	}
+}
+
+func TestBurstGrouping(t *testing.T) {
+	s := &Spec{
+		Seed: 6,
+		Phases: []Phase{{
+			Streams: []Stream{{Base: 0, Stride: 64, Count: 40, Gap: 1000, Burst: 8}},
+		}},
+	}
+	tr, _ := s.Generate()
+	bigGaps := 0
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Time-tr[i-1].Time >= 500 {
+			bigGaps++
+		}
+	}
+	if bigGaps != 4 { // 40 requests / 8 per burst -> 4 inter-burst gaps
+		t.Errorf("big gaps = %d, want 4", bigGaps)
+	}
+}
+
+func TestWriteFrac(t *testing.T) {
+	s := &Spec{
+		Seed: 7,
+		Phases: []Phase{{
+			Streams: []Stream{{Base: 0, Stride: 64, Count: 10000, WriteFrac: 0.3}},
+		}},
+	}
+	tr, _ := s.Generate()
+	_, w := tr.Counts()
+	frac := float64(w) / float64(len(tr))
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("write fraction %.3f, want ~0.3", frac)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := &Spec{
+		Name: "roundtrip",
+		Seed: 11,
+		Phases: []Phase{{
+			Repeat:    2,
+			IdleAfter: 500,
+			Streams: []Stream{
+				{Base: 0x1000, Stride: 64, Count: 5, Size: 32, WriteFrac: 0.5, Gap: 7, GapJitter: 2, Burst: 2},
+				{Base: 0x2000, RandomIn: 4096, Count: 3},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Generate()
+	b, _ := got.Generate()
+	if len(a) != len(b) {
+		t.Fatalf("round-tripped spec generates %d vs %d requests", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("round-tripped spec generates a different trace")
+		}
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"name":"x","phases":[{"streams":[{"count":1,"typo_field":3}]}]}`))
+	if err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"name":"x","phases":[]}`)); err == nil {
+		t.Error("phaseless spec accepted")
+	}
+	if _, err := Parse(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

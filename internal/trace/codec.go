@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The binary trace format is a sequence of fixed-width little-endian
+// records preceded by a small header. The paper stores traces as
+// gzip-compressed protobuf; we substitute a stdlib-only equivalent with the
+// same practical properties (binary, compressed, self-describing) so that
+// Fig. 17's trace-vs-profile size comparison remains meaningful.
+
+const (
+	traceMagic   = 0x4d4f434b // "MOCK"
+	traceVersion = 1
+	recordSize   = 8 + 8 + 4 + 1
+)
+
+// WriteBinary writes the trace in the repository's binary record format.
+func WriteBinary(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(t)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, r := range t {
+		binary.LittleEndian.PutUint64(rec[0:], r.Time)
+		binary.LittleEndian.PutUint64(rec[8:], r.Addr)
+		binary.LittleEndian.PutUint32(rec[16:], r.Size)
+		rec[20] = byte(r.Op)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	t := make(Trace, 0, n)
+	var rec [recordSize]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		op := Op(rec[20])
+		if op != Read && op != Write {
+			return nil, fmt.Errorf("trace: record %d: bad op %d", i, rec[20])
+		}
+		t = append(t, Request{
+			Time: binary.LittleEndian.Uint64(rec[0:]),
+			Addr: binary.LittleEndian.Uint64(rec[8:]),
+			Size: binary.LittleEndian.Uint32(rec[16:]),
+			Op:   op,
+		})
+	}
+	return t, nil
+}
+
+// WriteGzip writes the binary format through a gzip compressor. This is the
+// on-disk format used when comparing trace and profile sizes (Fig. 17).
+func WriteGzip(w io.Writer, t Trace) error {
+	zw := gzip.NewWriter(w)
+	if err := WriteBinary(zw, t); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// ReadGzip reads a trace written by WriteGzip.
+func ReadGzip(r io.Reader) (Trace, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return ReadBinary(zr)
+}
+
+// WriteCSV writes the trace as "time,op,addr,size" lines with a header.
+// Addresses are hexadecimal. The format is intended for interchange with
+// external tools and for human inspection.
+func WriteCSV(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time,op,addr,size"); err != nil {
+		return err
+	}
+	for _, r := range t {
+		if _, err := fmt.Fprintf(bw, "%d,%s,%x,%d\n", r.Time, r.Op, r.Addr, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads a trace written by WriteCSV. Blank lines are ignored and a
+// header line is skipped if present.
+func ReadCSV(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var t Trace
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || s == "time,op,addr,size" {
+			continue
+		}
+		fields := strings.Split(s, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(fields))
+		}
+		tm, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: time: %w", line, err)
+		}
+		var op Op
+		switch strings.TrimSpace(fields[1]) {
+		case "R", "r":
+			op = Read
+		case "W", "w":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, fields[1])
+		}
+		addr, err := strconv.ParseUint(strings.TrimSpace(fields[2]), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: addr: %w", line, err)
+		}
+		size, err := strconv.ParseUint(strings.TrimSpace(fields[3]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: size: %w", line, err)
+		}
+		t = append(t, Request{Time: tm, Addr: addr, Size: uint32(size), Op: op})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

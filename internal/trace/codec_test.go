@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomTrace(rng *rand.Rand, n int) Trace {
+	t := make(Trace, n)
+	tm := uint64(0)
+	for i := range t {
+		tm += uint64(rng.Intn(1000))
+		op := Read
+		if rng.Intn(2) == 1 {
+			op = Write
+		}
+		t[i] = Request{
+			Time: tm,
+			Addr: rng.Uint64() >> 8,
+			Size: uint32(1 + rng.Intn(256)),
+			Op:   op,
+		}
+	}
+	return t
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(1)), 500)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("binary round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d requests from empty trace", len(got))
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(2)), 300)
+	var buf bytes.Buffer
+	if err := WriteGzip(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGzip(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("gzip round trip mismatch")
+	}
+}
+
+func TestGzipCompresses(t *testing.T) {
+	// A regular trace should compress well below the raw record size.
+	tr := make(Trace, 10000)
+	for i := range tr {
+		tr[i] = Request{Time: uint64(i) * 10, Addr: uint64(i) * 64, Size: 64, Op: Read}
+	}
+	var raw, gz bytes.Buffer
+	if err := WriteBinary(&raw, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGzip(&gz, tr); err != nil {
+		t.Fatal(err)
+	}
+	if gz.Len() >= raw.Len() {
+		t.Errorf("gzip (%d) not smaller than raw (%d)", gz.Len(), raw.Len())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(3)), 200)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("csv round trip mismatch")
+	}
+}
+
+func TestCSVAcceptsLowercaseOps(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("1,r,10,4\n2,w,20,8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Op != Read || got[1].Op != Write {
+		t.Errorf("ops = %v %v", got[0].Op, got[1].Op)
+	}
+}
+
+func TestCSVRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"1,R,10",          // too few fields
+		"x,R,10,4",        // bad time
+		"1,Q,10,4",        // bad op
+		"1,R,zz,4",        // bad addr
+		"1,R,10,notasize", // bad size
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestReadBinaryRejectsCorruptHeader(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("notamagicheader!"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadBinaryRejectsTruncatedBody(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(4)), 10)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)-5])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestReadBinaryRejectsBadOp(t *testing.T) {
+	tr := Trace{{Time: 1, Addr: 2, Size: 3, Op: Read}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] = 7 // corrupt the op byte
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Error("bad op accepted")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	check := func(times []uint16, addrSeed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(addrSeed)))
+		tr := make(Trace, len(times))
+		for i, tm := range times {
+			op := Read
+			if rng.Intn(2) == 1 {
+				op = Write
+			}
+			tr[i] = Request{Time: uint64(tm), Addr: rng.Uint64(), Size: uint32(rng.Intn(1024) + 1), Op: op}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, tr) || (len(got) == 0 && len(tr) == 0)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+// Filtering and slicing helpers used by the analysis tooling and the
+// experiment runners.
+
+// Filter returns the requests satisfying pred, in order.
+func (t Trace) Filter(pred func(Request) bool) Trace {
+	var out Trace
+	for _, r := range t {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Reads returns only the read requests.
+func (t Trace) Reads() Trace {
+	return t.Filter(func(r Request) bool { return r.Op == Read })
+}
+
+// Writes returns only the write requests.
+func (t Trace) Writes() Trace {
+	return t.Filter(func(r Request) bool { return r.Op == Write })
+}
+
+// Window returns the requests with Time in [from, to). The trace must be
+// time-sorted.
+func (t Trace) Window(from, to uint64) Trace {
+	lo := search(len(t), func(i int) bool { return t[i].Time >= from })
+	hi := search(len(t), func(i int) bool { return t[i].Time >= to })
+	return t[lo:hi]
+}
+
+// InRegion returns the requests whose start address falls in [lo, hi).
+func (t Trace) InRegion(lo, hi uint64) Trace {
+	return t.Filter(func(r Request) bool { return r.Addr >= lo && r.Addr < hi })
+}
+
+// Rebase returns a copy of the trace with timestamps shifted so the
+// first request is at time 0.
+func (t Trace) Rebase() Trace {
+	if len(t) == 0 {
+		return nil
+	}
+	base := t[0].Time
+	out := t.Clone()
+	for i := range out {
+		out[i].Time -= base
+	}
+	return out
+}
+
+// search is sort.Search without importing sort here.
+func search(n int, f func(int) bool) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,70 @@
+package trace
+
+import "testing"
+
+func filterFixture() Trace {
+	return Trace{
+		req(10, 0x100, 4, Read),
+		req(20, 0x200, 4, Write),
+		req(30, 0x300, 4, Read),
+		req(40, 0x400, 4, Write),
+		req(50, 0x500, 4, Read),
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	tr := filterFixture()
+	if got := tr.Reads(); len(got) != 3 {
+		t.Errorf("Reads = %d", len(got))
+	}
+	if got := tr.Writes(); len(got) != 2 {
+		t.Errorf("Writes = %d", len(got))
+	}
+}
+
+func TestFilterEmpty(t *testing.T) {
+	if got := (Trace{}).Filter(func(Request) bool { return true }); got != nil {
+		t.Error("empty Filter nonempty")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := filterFixture()
+	got := tr.Window(20, 41)
+	if len(got) != 3 || got[0].Time != 20 || got[2].Time != 40 {
+		t.Errorf("Window(20,41) = %v", got)
+	}
+	if got := tr.Window(100, 200); len(got) != 0 {
+		t.Errorf("out-of-range window = %v", got)
+	}
+	if got := tr.Window(0, 1000); len(got) != 5 {
+		t.Errorf("full window = %d", len(got))
+	}
+	// Half-open: to is exclusive.
+	if got := tr.Window(10, 10); len(got) != 0 {
+		t.Errorf("empty window = %v", got)
+	}
+}
+
+func TestInRegion(t *testing.T) {
+	tr := filterFixture()
+	got := tr.InRegion(0x200, 0x400)
+	if len(got) != 2 {
+		t.Errorf("InRegion = %v", got)
+	}
+}
+
+func TestRebase(t *testing.T) {
+	tr := filterFixture()
+	got := tr.Rebase()
+	if got[0].Time != 0 || got[4].Time != 40 {
+		t.Errorf("Rebase = %v", got)
+	}
+	// Original untouched.
+	if tr[0].Time != 10 {
+		t.Error("Rebase mutated input")
+	}
+	if (Trace{}).Rebase() != nil {
+		t.Error("empty Rebase nonempty")
+	}
+}

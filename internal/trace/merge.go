@@ -1,0 +1,73 @@
+package trace
+
+import "container/heap"
+
+// Merge combines several Sources into one, interleaving their requests in
+// timestamp order. Backpressure delay is propagated to every underlying
+// source. It is the building block for SoC-style simulations where
+// multiple (possibly synthetic) IP blocks inject into one memory system.
+func Merge(sources ...Source) Source {
+	m := &mergeSource{}
+	for _, s := range sources {
+		if s == nil {
+			continue
+		}
+		if req, ok := s.Next(); ok {
+			m.h = append(m.h, mergeItem{req: req, src: s, order: len(m.h)})
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+type mergeSource struct {
+	h     mergeSrcHeap
+	shift uint64
+}
+
+func (m *mergeSource) Next() (Request, bool) {
+	if len(m.h) == 0 {
+		return Request{}, false
+	}
+	it := m.h[0]
+	req := it.req
+	req.Time += m.shift
+	if next, ok := it.src.Next(); ok {
+		m.h[0].req = next
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return req, true
+}
+
+// Delay shifts every not-yet-emitted request, both those buffered in the
+// heap and those the underlying sources will produce later. The shift is
+// kept here rather than pushed into the sources so no request is shifted
+// twice.
+func (m *mergeSource) Delay(cycles uint64) { m.shift += cycles }
+
+type mergeItem struct {
+	req   Request
+	src   Source
+	order int
+}
+
+type mergeSrcHeap []mergeItem
+
+func (h mergeSrcHeap) Len() int { return len(h) }
+func (h mergeSrcHeap) Less(i, j int) bool {
+	if h[i].req.Time != h[j].req.Time {
+		return h[i].req.Time < h[j].req.Time
+	}
+	return h[i].order < h[j].order
+}
+func (h mergeSrcHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeSrcHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeSrcHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,103 @@
+// Package validate compares two memory-system simulation results — a
+// reference (the original trace) and a candidate (a synthetic
+// recreation) — metric by metric, producing the error summary that the
+// paper's §IV methodology aggregates into its figures. It backs the
+// `mocktails compare` CLI and the test-suite claim assertions.
+package validate
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// MetricError is one compared metric.
+type MetricError struct {
+	Name       string
+	Reference  float64
+	Measured   float64
+	PercentErr float64
+}
+
+// Comparison is the full metric-by-metric comparison.
+type Comparison struct {
+	Metrics []MetricError
+}
+
+// Compare evaluates every §IV metric of the candidate against the
+// reference: burst counts, row hits, queue lengths, per-channel
+// write-queue distributions (as L1 distances), reads per turnaround, and
+// average latency.
+func Compare(ref, got dram.Result) Comparison {
+	var c Comparison
+	add := func(name string, r, g float64) {
+		c.Metrics = append(c.Metrics, MetricError{
+			Name: name, Reference: r, Measured: g,
+			PercentErr: stats.PercentError(g, r),
+		})
+	}
+	add("read bursts", float64(ref.ReadBursts()), float64(got.ReadBursts()))
+	add("write bursts", float64(ref.WriteBursts()), float64(got.WriteBursts()))
+	add("read row hits", float64(ref.ReadRowHits()), float64(got.ReadRowHits()))
+	add("write row hits", float64(ref.WriteRowHits()), float64(got.WriteRowHits()))
+	add("avg read queue", ref.AvgReadQueueLen(), got.AvgReadQueueLen())
+	add("avg write queue", ref.AvgWriteQueueLen(), got.AvgWriteQueueLen())
+	add("avg latency", ref.AvgLatency, got.AvgLatency)
+	n := len(ref.Channels)
+	if len(got.Channels) < n {
+		n = len(got.Channels)
+	}
+	for ch := 0; ch < n; ch++ {
+		add(fmt.Sprintf("ch%d reads/turnaround", ch),
+			ref.AvgReadsPerTurnaround(ch), got.AvgReadsPerTurnaround(ch))
+	}
+	return c
+}
+
+// MaxError returns the largest percent error across metrics.
+func (c Comparison) MaxError() float64 {
+	max := 0.0
+	for _, m := range c.Metrics {
+		if m.PercentErr > max {
+			max = m.PercentErr
+		}
+	}
+	return max
+}
+
+// MeanError returns the arithmetic-mean percent error across metrics.
+func (c Comparison) MeanError() float64 {
+	if len(c.Metrics) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m := range c.Metrics {
+		sum += m.PercentErr
+	}
+	return sum / float64(len(c.Metrics))
+}
+
+// Worst returns the metric with the largest error, or a zero value when
+// empty.
+func (c Comparison) Worst() MetricError {
+	var worst MetricError
+	for _, m := range c.Metrics {
+		if m.PercentErr >= worst.PercentErr {
+			worst = m
+		}
+	}
+	return worst
+}
+
+// Fprint renders the comparison as an aligned table.
+func (c Comparison) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %14s %14s %8s\n", "metric", "reference", "measured", "err%")
+	for _, m := range c.Metrics {
+		fmt.Fprintf(w, "%-24s %14.2f %14.2f %8.2f\n",
+			m.Name, m.Reference, m.Measured, m.PercentErr)
+	}
+	fmt.Fprintf(w, "mean error %.2f%%, max error %.2f%% (%s)\n",
+		c.MeanError(), c.MaxError(), c.Worst().Name)
+}

@@ -1,0 +1,87 @@
+package workloads
+
+import "repro/internal/trace"
+
+// Crypto generates the CPU cryptography proxy. The trace models the
+// post-cache (L2 miss) stream of a block cipher pass: long read-modify-
+// write sweeps over an input and output buffer (unit 64-B strides, reads
+// leading writes), interleaved with irregular 64-B reads into a small
+// key/table region, in phases whose region usage shifts over time — the
+// CPU behaviour that makes larger temporal partitions lose accuracy in
+// Fig. 13.
+func Crypto(seed uint64) trace.Trace {
+	e := newEmitter(seed)
+	const (
+		inBase   = 0x1000_0000
+		outBase  = 0x1200_0000
+		tabBase  = 0x1400_0000
+		phases   = 10
+		phaseLen = 2048 // 64-B blocks processed per phase
+	)
+	for p := 0; p < phases; p++ {
+		in := uint64(inBase) + uint64(p)*phaseLen*64
+		out := uint64(outBase) + uint64(p)*phaseLen*64
+		tab := uint64(tabBase) + uint64(p%3)*0x2000
+		for b := 0; b < phaseLen; b++ {
+			e.emit(e.jitter(60, 15), in+uint64(b)*64, 64, trace.Read)
+			// Table lookups miss occasionally (the table is mostly
+			// cache-resident): sparse irregular reads.
+			if e.rng.Bool(0.25) {
+				e.emit(e.jitter(20, 8), tab+uint64(e.rng.Intn(128))*64, 64, trace.Read)
+			}
+			e.emit(e.jitter(40, 10), out+uint64(b)*64, 64, trace.Write)
+		}
+		// Between phases the core computes from cache: a long quiet gap.
+		e.idle(e.jitter(3_000_000, 500_000))
+	}
+	return e.done()
+}
+
+// CPUInteract generates the CPU-D / CPU-G / CPU-V proxies: a CPU
+// workload preparing and consuming buffers for another device. The trace
+// alternates producer phases (streaming writes into a shared buffer),
+// control phases (sparse irregular accesses to descriptors), and consumer
+// phases (streaming reads of results), with device-dependent balance:
+// the DPU partner is write-heavy, the GPU partner is bursty and
+// symmetric, and the VPU partner is read-heavy with sparser control
+// traffic.
+func CPUInteract(seed uint64, partner byte) trace.Trace {
+	e := newEmitter(seed)
+	const (
+		shareBase = 0xA000_0000
+		descBase  = 0xA800_0000
+		resBase   = 0xB000_0000
+	)
+	var produce, consume int
+	var ctrlProb float64
+	switch partner {
+	case 'D':
+		produce, consume, ctrlProb = 3072, 1024, 0.10
+	case 'G':
+		produce, consume, ctrlProb = 2048, 2048, 0.20
+	default: // 'V'
+		produce, consume, ctrlProb = 1024, 3072, 0.05
+	}
+	const phases = 8
+	for p := 0; p < phases; p++ {
+		share := uint64(shareBase) + uint64(p%4)*0x80000
+		res := uint64(resBase) + uint64(p%4)*0x80000
+		// Producer: read source, write shared buffer (memcpy-like).
+		for b := 0; b < produce; b++ {
+			e.emit(e.jitter(50, 12), share+0x40000+uint64(b)*64, 64, trace.Read)
+			e.emit(e.jitter(30, 8), share+uint64(b)*64, 64, trace.Write)
+			if e.rng.Bool(ctrlProb) {
+				e.emit(e.jitter(15, 5), descBase+uint64(e.rng.Intn(512))*64, 64, trace.Read)
+			}
+		}
+		// Kick the device, then wait: a long idle gap.
+		e.emit(100, descBase+uint64(p)*64, 64, trace.Write)
+		e.idle(e.jitter(4_000_000, 1_000_000))
+		// Consumer: stream the results back.
+		for b := 0; b < consume; b++ {
+			e.emit(e.jitter(45, 10), res+uint64(b)*64, 64, trace.Read)
+		}
+		e.idle(e.jitter(1_500_000, 400_000))
+	}
+	return e.done()
+}

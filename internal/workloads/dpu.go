@@ -1,0 +1,110 @@
+package workloads
+
+import "repro/internal/trace"
+
+// FBC generates a DPU (display processor) proxy trace that reads
+// compressed frame buffers. In linear mode the payload is scanned
+// sequentially, maximising row locality; in tiled mode the scan walks
+// 16-line tiles whose lines are a full pitch apart, so consecutive reads
+// jump across DRAM rows (the Fig. 10 contrast). A small composition
+// write-back stream touches a narrow address band so that only a subset
+// of banks sees writes (the Fig. 12b effect).
+func FBC(seed uint64, tiled bool) trace.Trace {
+	e := newEmitter(seed)
+	const (
+		fbBase    = 0x4000_0000
+		pitch     = 4096 // bytes per display line
+		lines     = 512
+		frameGap  = 16_600_000 // 60 fps at 1 GHz
+		frames    = 3
+		hdrBase   = 0x4800_0000
+		writeBase = 0x5000_0000
+	)
+	for f := 0; f < frames; f++ {
+		frameStart := uint64(f) * frameGap
+		if frameStart > e.now {
+			e.idle(frameStart - e.now)
+		}
+		fb := uint64(fbBase) + uint64(f%2)*uint64(pitch*lines)
+		// Per-line compression headers, read ahead of the payload.
+		for l := 0; l < lines; l += 8 {
+			e.emit(e.jitter(30, 5), hdrBase+uint64(f%2)*0x10000+uint64(l)*8, 64, trace.Read)
+		}
+		if tiled {
+			// 16x16-pixel tiles, 64 B per line segment: lines of a tile
+			// are pitch apart, killing row locality.
+			for ty := 0; ty < lines/16; ty++ {
+				for tx := 0; tx < pitch/64; tx += 4 {
+					for ln := 0; ln < 16; ln++ {
+						addr := fb + uint64(ty*16+ln)*pitch + uint64(tx)*64
+						e.emit(e.jitter(8, 2), addr, 64, trace.Read)
+					}
+				}
+				e.idle(e.jitter(3000, 500))
+			}
+		} else {
+			// Linear scan: payload read back-to-back in address order.
+			for l := 0; l < lines; l++ {
+				for x := 0; x < pitch/64; x += 4 {
+					addr := fb + uint64(l)*pitch + uint64(x)*64
+					e.emit(e.jitter(8, 2), addr, 64, trace.Read)
+				}
+				if l%16 == 15 {
+					e.idle(e.jitter(3000, 500))
+				}
+			}
+		}
+		// Composition write-back: a narrow 16-KB band rewritten every
+		// frame, sequential 64-B writes. The band spans only 16
+		// row-buffer stripes (4 per channel), so half the banks never
+		// see a write (the Fig. 12b effect). Four passes keep the write
+		// volume comparable to a frame's metadata updates.
+		for pass := 0; pass < 4; pass++ {
+			for b := 0; b < 256; b++ {
+				e.emit(e.jitter(12, 3), writeBase+uint64(b)*64, 64, trace.Write)
+			}
+		}
+	}
+	return e.done()
+}
+
+// MultiLayer generates the DPU multi-layer proxy: several VGA-sized
+// layers are fetched scanline-interleaved and composited, with the result
+// written out, so concurrent address streams from different layers are
+// interspersed in time (the behaviour Mocktails' per-partition start
+// times must capture).
+func MultiLayer(seed uint64) trace.Trace {
+	e := newEmitter(seed)
+	const (
+		layers   = 4
+		pitch    = 2560 // 640 px * 4 B
+		lines    = 480
+		base     = 0x6000_0000
+		outBase  = 0x7000_0000
+		frameGap = 16_600_000
+		frames   = 2
+	)
+	for f := 0; f < frames; f++ {
+		frameStart := uint64(f) * frameGap
+		if frameStart > e.now {
+			e.idle(frameStart - e.now)
+		}
+		for l := 0; l < lines; l++ {
+			// Read one scanline from every layer, interleaved.
+			for x := 0; x < pitch/64; x += 2 {
+				for ly := 0; ly < layers; ly++ {
+					// Layers sit at page-offset bases so simultaneous
+					// fetches spread over channels, as real allocators do.
+					addr := uint64(base) + uint64(ly)*0x100400 + uint64(l)*pitch + uint64(x)*64
+					e.emit(e.jitter(6, 2), addr, 64, trace.Read)
+				}
+			}
+			// Write the composited scanline.
+			for x := 0; x < pitch/64; x += 2 {
+				e.emit(e.jitter(10, 2), uint64(outBase)+uint64(l)*pitch+uint64(x)*64, 64, trace.Write)
+			}
+			e.idle(e.jitter(2000, 300))
+		}
+	}
+	return e.done()
+}

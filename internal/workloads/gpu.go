@@ -1,0 +1,83 @@
+package workloads
+
+import "repro/internal/trace"
+
+// GPUGraphics generates a graphics GPU proxy (T-Rex / Manhattan style):
+// per-frame rendering issues dense bursts in which several concurrent
+// streams interleave — texture reads (128-B, semi-random within texture
+// regions), vertex reads (64-B strided), and tile write-backs (64-B
+// sequential runs). Requests inside a burst are only a few cycles apart,
+// producing the long queue occupancies of Fig. 7/8. complexity in (0,1]
+// scales the per-frame work (Manhattan is heavier than T-Rex).
+func GPUGraphics(seed uint64, complexity float64) trace.Trace {
+	e := newEmitter(seed)
+	const (
+		texBase  = 0x2000_0000
+		vtxBase  = 0x2800_0000
+		fbBase   = 0x3000_0000
+		frameGap = 16_600_000
+		frames   = 3
+	)
+	tiles := int(600 * complexity)
+	for f := 0; f < frames; f++ {
+		frameStart := uint64(f) * frameGap
+		if frameStart > e.now {
+			e.idle(frameStart - e.now)
+		}
+		for tile := 0; tile < tiles; tile++ {
+			// Several shader cores fetch concurrently: interleave three
+			// streams at a fine grain within the tile burst.
+			// Region spacings are odd multiples of the row-buffer stripe
+			// so concurrent tiles spread across memory channels.
+			texRegion := texBase + uint64(e.rng.Intn(64))*0x8000
+			vtx := vtxBase + uint64(tile)*0x840
+			fb := fbBase + uint64(tile%512)*0x1440
+			for i := 0; i < 12; i++ {
+				// Texture: 128-B reads, random cache-line pairs within
+				// the region (mip-map style locality).
+				e.emit(e.jitter(3, 2), texRegion+uint64(e.rng.Intn(256))*128, 128, trace.Read)
+				// Vertices: forward 64-B stride.
+				e.emit(e.jitter(3, 2), vtx+uint64(i)*64, 64, trace.Read)
+				if i%2 == 0 {
+					// Tile buffer resolve: sequential 64-B writes.
+					e.emit(e.jitter(3, 2), fb+uint64(i/2)*64, 64, trace.Write)
+				}
+			}
+			// Final tile flush: a short dense write run.
+			for i := 0; i < 8; i++ {
+				e.emit(e.jitter(2, 1), fb+512+uint64(i)*64, 64, trace.Write)
+			}
+			if tile%8 == 7 {
+				e.idle(e.jitter(6000, 1500))
+			}
+		}
+	}
+	return e.done()
+}
+
+// OpenCL generates a compute GPU proxy: a streaming kernel reads two
+// large input buffers and writes one output buffer with unit-stride
+// 128-B accesses issued back-to-back by many work-groups, saturating the
+// memory system in long regular bursts.
+func OpenCL(seed uint64) trace.Trace {
+	e := newEmitter(seed)
+	const (
+		aBase     = 0x1000_0000
+		bBase     = 0x1400_0000
+		cBase     = 0x1800_0000
+		groups    = 256
+		groupSize = 64 // 128-B elements per work-group
+	)
+	for g := 0; g < groups; g++ {
+		ga := uint64(g) * groupSize * 128
+		for i := 0; i < groupSize; i++ {
+			off := ga + uint64(i)*128
+			e.emit(e.jitter(2, 1), aBase+off, 128, trace.Read)
+			e.emit(e.jitter(2, 1), bBase+off, 128, trace.Read)
+			e.emit(e.jitter(2, 1), cBase+off, 128, trace.Write)
+		}
+		// Work-group dispatch gap.
+		e.idle(e.jitter(4000, 800))
+	}
+	return e.done()
+}

@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// This file generates the §V CPU-to-L1-port proxy traces standing in for
+// the paper's SPEC CPU2006 Pin traces. Each benchmark is a parameterised
+// mix of four access components observed at the L1 port:
+//
+//   - stream: sequential pointer walks over large arrays (compulsory
+//     misses at a rate set by the stride);
+//   - hot: skewed random accesses over a population of heap objects
+//     spaced 128 B apart (capacity behaviour depends on the population
+//     size; the skew gives realistic reuse-distance spread). Objects are
+//     non-adjacent, so dynamic spatial partitioning isolates each
+//     recurring object into its own partition — the structure Mocktails
+//     (Dynamic) exploits and fixed 4-KB blocks blur;
+//   - alias: cyclic walks over small groups of blocks that are exactly
+//     one set-mapping stride apart, which is what gives the six Fig. 15
+//     benchmarks their three distinct associativity trends for a fixed
+//     32-KB capacity (higher associativity means fewer sets, so these
+//     groups either fit in a set's ways or thrash it);
+//   - stack: accesses to a tiny always-resident region (L1 hits) that
+//     dilute the miss rate to realistic levels.
+//
+// The parameters below are tuned so that gobmk's miss rate falls with
+// associativity, libquantum's is flat, and zeusmp's rises — the three
+// trends of Figs. 15 and 16 — and so that the Fig. 17 profile-size
+// contrasts the paper discusses (calculix's single dominant partition,
+// hmmer's constant-friendly regularity, astar's high stride variability)
+// have analogues.
+
+// aliasGroup is a set-conflict component: count blocks spaced stride
+// bytes apart, walked cyclically.
+type aliasGroup struct {
+	base   uint64
+	stride uint64
+	count  int
+}
+
+// specParams parameterises one SPEC proxy.
+type specParams struct {
+	name     string
+	requests int
+	// Component probabilities; the remainder is the stack component.
+	pStream, pHot, pAlias float64
+	streamStride          uint64
+	streamBytes           uint64
+	hotBytes              uint64
+	aliasGroups           []aliasGroup
+	writeFrac             float64
+	sizes                 []uint32
+}
+
+// set16K returns alias groups of the given sizes spaced 16 KB apart:
+// with a 32-KB cache each group lives in a single set at every
+// associativity, so a group of c blocks stops thrashing once assoc >= c.
+func set16K(counts ...int) []aliasGroup {
+	gs := make([]aliasGroup, len(counts))
+	for i, c := range counts {
+		gs[i] = aliasGroup{base: 0xC000_0000 + uint64(i)*0x100_0000, stride: 16 << 10, count: c}
+	}
+	return gs
+}
+
+// set2K returns one alias group spaced 2 KB apart: at low associativity
+// the blocks spread over several sets (partially fitting), at high
+// associativity they collapse into fewer sets and thrash — the rising
+// zeusmp trend.
+func set2K(count int) []aliasGroup {
+	return []aliasGroup{{base: 0xD000_0000, stride: 2 << 10, count: count}}
+}
+
+func specCatalog() []specParams {
+	w48 := []uint32{4, 8}
+	n := 220_000
+	return []specParams{
+		{name: "astar", requests: n, pStream: 0.08, pHot: 0.50, pAlias: 0, streamStride: 8, streamBytes: 4 << 20, hotBytes: 2 << 20, writeFrac: 0.25, sizes: w48},
+		{name: "bzip2", requests: n, pStream: 0.30, pHot: 0.25, pAlias: 0, streamStride: 8, streamBytes: 8 << 20, hotBytes: 512 << 10, writeFrac: 0.30, sizes: w48},
+		{name: "cactusADM", requests: n, pStream: 0.45, pHot: 0.10, pAlias: 0, streamStride: 16, streamBytes: 16 << 20, hotBytes: 256 << 10, writeFrac: 0.35, sizes: []uint32{8}},
+		{name: "calculix", requests: n, pStream: 0.55, pHot: 0.05, pAlias: 0, streamStride: 8, streamBytes: 2 << 20, hotBytes: 64 << 10, writeFrac: 0.20, sizes: []uint32{8}},
+		{name: "gcc", requests: n, pStream: 0.20, pHot: 0.35, pAlias: 0, streamStride: 8, streamBytes: 4 << 20, hotBytes: 1 << 20, writeFrac: 0.30, sizes: w48},
+		{name: "GemsFDTD", requests: n, pStream: 0.50, pHot: 0.08, pAlias: 0, streamStride: 16, streamBytes: 24 << 20, hotBytes: 128 << 10, writeFrac: 0.33, sizes: []uint32{8}},
+		{name: "gobmk", requests: n, pStream: 0.10, pHot: 0.25, pAlias: 0.12, streamStride: 8, streamBytes: 2 << 20, hotBytes: 24 << 10, aliasGroups: set16K(3, 6, 12), writeFrac: 0.25, sizes: w48},
+		{name: "gromacs", requests: n, pStream: 0.25, pHot: 0.20, pAlias: 0, streamStride: 8, streamBytes: 2 << 20, hotBytes: 192 << 10, writeFrac: 0.28, sizes: w48},
+		{name: "h264ref", requests: n, pStream: 0.22, pHot: 0.18, pAlias: 0.05, streamStride: 4, streamBytes: 3 << 20, hotBytes: 96 << 10, aliasGroups: set16K(3, 6), writeFrac: 0.30, sizes: []uint32{4}},
+		{name: "hmmer", requests: n, pStream: 0.40, pHot: 0.10, pAlias: 0, streamStride: 4, streamBytes: 1 << 20, hotBytes: 32 << 10, writeFrac: 0.40, sizes: []uint32{4}},
+		{name: "lbm", requests: n, pStream: 0.55, pHot: 0.02, pAlias: 0, streamStride: 16, streamBytes: 32 << 20, hotBytes: 64 << 10, writeFrac: 0.45, sizes: []uint32{8}},
+		{name: "leslie3d", requests: n, pStream: 0.48, pHot: 0.07, pAlias: 0, streamStride: 16, streamBytes: 12 << 20, hotBytes: 128 << 10, writeFrac: 0.30, sizes: []uint32{8}},
+		{name: "libquantum", requests: n, pStream: 0.35, pHot: 0, pAlias: 0, streamStride: 16, streamBytes: 16 << 20, hotBytes: 0, writeFrac: 0.25, sizes: []uint32{8}},
+		{name: "mcf", requests: n, pStream: 0.05, pHot: 0.55, pAlias: 0, streamStride: 8, streamBytes: 2 << 20, hotBytes: 8 << 20, writeFrac: 0.20, sizes: w48},
+		{name: "milc", requests: n, pStream: 0.45, pHot: 0.12, pAlias: 0, streamStride: 32, streamBytes: 20 << 20, hotBytes: 1 << 20, writeFrac: 0.30, sizes: []uint32{8}},
+		{name: "namd", requests: n, pStream: 0.30, pHot: 0.15, pAlias: 0, streamStride: 8, streamBytes: 1 << 20, hotBytes: 128 << 10, writeFrac: 0.25, sizes: []uint32{8}},
+		{name: "omnetpp", requests: n, pStream: 0.08, pHot: 0.50, pAlias: 0, streamStride: 8, streamBytes: 1 << 20, hotBytes: 4 << 20, writeFrac: 0.35, sizes: w48},
+		{name: "perlbench", requests: n, pStream: 0.15, pHot: 0.35, pAlias: 0, streamStride: 8, streamBytes: 2 << 20, hotBytes: 768 << 10, writeFrac: 0.35, sizes: w48},
+		{name: "povray", requests: n, pStream: 0.12, pHot: 0.25, pAlias: 0, streamStride: 8, streamBytes: 512 << 10, hotBytes: 256 << 10, writeFrac: 0.30, sizes: w48},
+		{name: "sjeng", requests: n, pStream: 0.08, pHot: 0.35, pAlias: 0, streamStride: 8, streamBytes: 1 << 20, hotBytes: 1536 << 10, writeFrac: 0.28, sizes: w48},
+		{name: "soplex", requests: n, pStream: 0.30, pHot: 0.22, pAlias: 0.04, streamStride: 8, streamBytes: 8 << 20, hotBytes: 640 << 10, aliasGroups: set16K(4, 8), writeFrac: 0.22, sizes: []uint32{8}},
+		{name: "tonto", requests: n, pStream: 0.25, pHot: 0.20, pAlias: 0, streamStride: 8, streamBytes: 2 << 20, hotBytes: 320 << 10, writeFrac: 0.30, sizes: []uint32{8}},
+		{name: "zeusmp", requests: n, pStream: 0.30, pHot: 0.10, pAlias: 0.075, streamStride: 16, streamBytes: 10 << 20, hotBytes: 96 << 10, aliasGroups: set2K(20), writeFrac: 0.30, sizes: []uint32{8}},
+	}
+}
+
+// SPECNames lists the 23 proxy benchmark names in catalogue order.
+func SPECNames() []string {
+	ps := specCatalog()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.name
+	}
+	return names
+}
+
+// Fig15Names lists the six benchmarks of Figs. 15 and 16.
+func Fig15Names() []string {
+	return []string{"gobmk", "h264ref", "libquantum", "milc", "soplex", "zeusmp"}
+}
+
+// SPECTrace generates the CPU-to-L1-port proxy trace for the named
+// benchmark.
+func SPECTrace(name string) (trace.Trace, error) {
+	for i, p := range specCatalog() {
+		if p.name == name {
+			return genSPEC(p, uint64(100+i)), nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown SPEC proxy %q", name)
+}
+
+func genSPEC(p specParams, seed uint64) trace.Trace {
+	e := newEmitter(seed)
+	const (
+		streamBase = 0x4000_0000
+		hotBase    = 0x8000_0000
+		stackBase  = 0x7fff_0000
+	)
+	var streamPtr uint64
+	aliasPtrs := make([]int, len(p.aliasGroups))
+	var aliasTotal int
+	for _, g := range p.aliasGroups {
+		aliasTotal += g.count
+	}
+	for i := 0; i < p.requests; i++ {
+		var addr uint64
+		r := e.rng.Float64()
+		switch {
+		case r < p.pStream:
+			addr = streamBase + streamPtr
+			streamPtr = (streamPtr + p.streamStride) % p.streamBytes
+		case r < p.pStream+p.pHot && p.hotBytes > 0:
+			// Heap objects at 128-B spacing, quadratically skewed so a
+			// hot head sees heavy reuse and a long tail is touched
+			// rarely.
+			objects := p.hotBytes / 128
+			u := e.rng.Float64()
+			addr = hotBase + uint64(float64(objects)*u*u)*128
+
+		case r < p.pStream+p.pHot+p.pAlias && aliasTotal > 0:
+			// Pick a group weighted by its block count, then take its
+			// next block in cyclic order.
+			pick := e.rng.Intn(aliasTotal)
+			for gi, g := range p.aliasGroups {
+				if pick < g.count {
+					addr = g.base + uint64(aliasPtrs[gi])*g.stride
+					aliasPtrs[gi] = (aliasPtrs[gi] + 1) % g.count
+					break
+				}
+				pick -= g.count
+			}
+		default:
+			addr = stackBase + e.rng.Uint64n(1<<10)&^7
+		}
+		size := p.sizes[e.rng.Intn(len(p.sizes))]
+		op := trace.Read
+		if e.rng.Bool(p.writeFrac) {
+			op = trace.Write
+		}
+		e.emit(e.jitter(2, 1), addr, size, op)
+	}
+	return e.done()
+}

@@ -1,0 +1,74 @@
+package workloads
+
+import "repro/internal/trace"
+
+// HEVC generates a VPU (video decode) proxy trace. The behaviour follows
+// the paper's own observations of HEVC traces:
+//
+//   - Requests cluster into frame-decode bursts separated by idle gaps of
+//     tens of millions of cycles (Fig. 3 shows clusters hundreds of
+//     millions of cycles apart over a ~750M-cycle trace).
+//   - Within a burst, reference-frame reads touch 4-KB regions sparsely
+//     and irregularly: short runs of 64-B accesses led by a 128-B access
+//     with a small back-stride, revisited later in the frame (the Fig. 2 /
+//     Table I "partition F" pattern), alongside other stride runs.
+//   - Decoded output is written back in linear 64-B runs.
+//
+// frames controls the trace length; the default catalogue uses 8-12.
+func HEVC(seed uint64, frames int) trace.Trace {
+	e := newEmitter(seed)
+	const (
+		framePeriod = 60_000_000 // cycles between frame starts
+		refBase     = 0x8100_0000
+		outBase     = 0x9000_0000
+		regions     = 48 // 4KB reference regions in the working set
+	)
+	// Fixed per-region offsets so that the same sparse pattern recurs
+	// across frames (reference-frame reuse).
+	regionOff := make([]uint64, regions)
+	for i := range regionOff {
+		regionOff[i] = uint64(e.rng.Intn(40)) * 96
+	}
+	for f := 0; f < frames; f++ {
+		frameStart := uint64(f) * framePeriod
+		if frameStart > e.now {
+			e.idle(frameStart - e.now)
+		}
+		// Reference reads: a window of regions slides with the frame.
+		for ri := 0; ri < regions; ri++ {
+			region := refBase + uint64((f*7+ri)%96)*4096
+			base := region + regionOff[ri%regions]%1024
+			// The Fig. 2 motif: a 128-B access, a +8 stride, then a
+			// run of +64 strides — executed twice (temporal reuse).
+			for rep := 0; rep < 2; rep++ {
+				e.emit(e.jitter(40, 10), base, 128, trace.Read)
+				e.emit(8, base+8, 64, trace.Read)
+				for k := 1; k <= 4; k++ {
+					e.emit(e.jitter(20, 4), base+8+uint64(k)*64, 64, trace.Read)
+				}
+				e.idle(e.jitter(5000, 1000))
+			}
+			// A second, independent motif in the same region: a short
+			// dense run at a different offset.
+			off := region + 2048 + uint64(ri%4)*256
+			for k := 0; k < 6; k++ {
+				e.emit(e.jitter(24, 6), off+uint64(k)*64, 64, trace.Read)
+			}
+			e.idle(e.jitter(20000, 5000))
+		}
+		// Output writeback: linear 64-B writes over a 192-KB frame
+		// slice. The writeback DMA drains short runs of back-to-back
+		// writes separated by jittered gaps; run lengths vary with the
+		// decoded block sizes (mean 16).
+		out := outBase + uint64(f%4)*0x40000
+		for blk := 0; blk < 3072; blk++ {
+			dt := e.jitter(8, 3)
+			if e.rng.Bool(1.0 / 16) {
+				dt = e.jitter(600, 250)
+			}
+			e.emit(dt, out+uint64(blk)*64, 64, trace.Write)
+		}
+		// Idle until the next frame: the inter-cluster gaps of Fig. 3.
+	}
+	return e.done()
+}

@@ -1,0 +1,115 @@
+// Package workloads generates the synthetic device traces that stand in
+// for the paper's proprietary RTL-emulation traces (Table II) and for its
+// SPEC CPU2006 Pin traces (§V). Each generator is deterministic in its
+// seed and is engineered to exhibit the memory behaviours the paper
+// attributes to its device class: sparse bursty 4-KB-region accesses with
+// long idle gaps for the VPU (Figs. 2 and 3), linear versus tiled frame
+// scans for the DPU, large interleaved bursty streams for the GPU, and
+// phase-varying cache-filtered misses for the CPU.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Spec describes one synthetic trace in the catalogue.
+type Spec struct {
+	// Name matches the paper's trace naming (e.g. "HEVC1", "FBC-Linear2").
+	Name string
+	// Device is one of "CPU", "DPU", "GPU", "VPU".
+	Device string
+	// Desc is the Table II description.
+	Desc string
+	// Gen builds the trace.
+	Gen func() trace.Trace
+}
+
+// Catalog returns the full Table II proxy catalogue: 18 traces across the
+// four device classes (Crypto x2, CPU-D, CPU-G, CPU-V; FBC-Linear x2,
+// FBC-Tiled x2, Multi-layer; T-Rex x2, Manhattan, OpenCL x2; HEVC x3).
+func Catalog() []Spec {
+	return []Spec{
+		{"Crypto1", "CPU", "A cryptography workload (trace 1 of 2)", func() trace.Trace { return Crypto(1) }},
+		{"Crypto2", "CPU", "A cryptography workload (trace 2 of 2)", func() trace.Trace { return Crypto(2) }},
+		{"CPU-D", "CPU", "A workload that interacts with a DPU", func() trace.Trace { return CPUInteract(3, 'D') }},
+		{"CPU-G", "CPU", "A workload that interacts with a GPU", func() trace.Trace { return CPUInteract(4, 'G') }},
+		{"CPU-V", "CPU", "A workload that interacts with a VPU", func() trace.Trace { return CPUInteract(5, 'V') }},
+		{"FBC-Linear1", "DPU", "Display compressed frames, linear mode (1 of 2)", func() trace.Trace { return FBC(6, false) }},
+		{"FBC-Linear2", "DPU", "Display compressed frames, linear mode (2 of 2)", func() trace.Trace { return FBC(7, false) }},
+		{"FBC-Tiled1", "DPU", "Display compressed frames, tiled mode (1 of 2)", func() trace.Trace { return FBC(8, true) }},
+		{"FBC-Tiled2", "DPU", "Display compressed frames, tiled mode (2 of 2)", func() trace.Trace { return FBC(9, true) }},
+		{"Multi-layer", "DPU", "Display multiple VGA layers", func() trace.Trace { return MultiLayer(10) }},
+		{"T-Rex1", "GPU", "T-Rex from GFXBench (1 of 2)", func() trace.Trace { return GPUGraphics(11, 0.55) }},
+		{"T-Rex2", "GPU", "T-Rex from GFXBench (2 of 2)", func() trace.Trace { return GPUGraphics(12, 0.55) }},
+		{"Manhattan", "GPU", "Manhattan from GFXBench", func() trace.Trace { return GPUGraphics(13, 0.70) }},
+		{"OpenCL1", "GPU", "An OpenCL stress test (1 of 2)", func() trace.Trace { return OpenCL(14) }},
+		{"OpenCL2", "GPU", "An OpenCL stress test (2 of 2)", func() trace.Trace { return OpenCL(15) }},
+		{"HEVC1", "VPU", "Decoding compressed video (1 of 3)", func() trace.Trace { return HEVC(16, 10) }},
+		{"HEVC2", "VPU", "Decoding compressed video (2 of 3)", func() trace.Trace { return HEVC(17, 8) }},
+		{"HEVC3", "VPU", "Decoding compressed video (3 of 3)", func() trace.Trace { return HEVC(18, 12) }},
+	}
+}
+
+// Devices lists the device classes in reporting order.
+func Devices() []string { return []string{"CPU", "DPU", "GPU", "VPU"} }
+
+// ByDevice groups the catalogue's specs by device class.
+func ByDevice() map[string][]Spec {
+	m := make(map[string][]Spec)
+	for _, s := range Catalog() {
+		m[s.Device] = append(m[s.Device], s)
+	}
+	return m
+}
+
+// Find returns the spec with the given name.
+func Find(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown trace %q", name)
+}
+
+// emitter accumulates requests with a running clock.
+type emitter struct {
+	t   trace.Trace
+	now uint64
+	rng *stats.RNG
+}
+
+func newEmitter(seed uint64) *emitter {
+	return &emitter{rng: stats.NewRNG(seed)}
+}
+
+// emit appends a request dt cycles after the previous one.
+func (e *emitter) emit(dt uint64, addr uint64, size uint32, op trace.Op) {
+	e.now += dt
+	e.t = append(e.t, trace.Request{Time: e.now, Addr: addr, Size: size, Op: op})
+}
+
+// idle advances the clock without emitting.
+func (e *emitter) idle(cycles uint64) { e.now += cycles }
+
+// jitter returns a uniform value in [base-spread, base+spread], floored
+// at 1.
+func (e *emitter) jitter(base, spread uint64) uint64 {
+	if spread == 0 {
+		return base
+	}
+	v := int64(base) + int64(e.rng.Uint64n(2*spread+1)) - int64(spread)
+	if v < 1 {
+		v = 1
+	}
+	return uint64(v)
+}
+
+// done finalises and returns the trace in time order.
+func (e *emitter) done() trace.Trace {
+	e.t.SortByTime()
+	return e.t
+}

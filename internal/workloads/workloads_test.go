@@ -1,0 +1,281 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 18 {
+		t.Fatalf("catalogue has %d traces, want 18 (Table II)", len(cat))
+	}
+	perDev := map[string]int{}
+	for _, s := range cat {
+		perDev[s.Device]++
+		if s.Name == "" || s.Desc == "" || s.Gen == nil {
+			t.Errorf("incomplete spec %+v", s)
+		}
+	}
+	want := map[string]int{"CPU": 5, "DPU": 5, "GPU": 5, "VPU": 3}
+	if !reflect.DeepEqual(perDev, want) {
+		t.Errorf("per-device counts = %v, want %v", perDev, want)
+	}
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Catalog() {
+		if seen[s.Name] {
+			t.Errorf("duplicate trace name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestFind(t *testing.T) {
+	s, err := Find("HEVC1")
+	if err != nil || s.Device != "VPU" {
+		t.Errorf("Find(HEVC1) = %+v, %v", s, err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("Find(nope) succeeded")
+	}
+}
+
+func TestByDeviceCoversAll(t *testing.T) {
+	total := 0
+	for _, specs := range ByDevice() {
+		total += len(specs)
+	}
+	if total != len(Catalog()) {
+		t.Errorf("ByDevice holds %d specs", total)
+	}
+	if len(Devices()) != 4 {
+		t.Errorf("Devices = %v", Devices())
+	}
+}
+
+func TestAllTracesSortedAndDeterministic(t *testing.T) {
+	for _, s := range Catalog() {
+		a := s.Gen()
+		if len(a) == 0 {
+			t.Errorf("%s: empty trace", s.Name)
+			continue
+		}
+		if !a.Sorted() {
+			t.Errorf("%s: trace not time-sorted", s.Name)
+		}
+		b := s.Gen()
+		if len(a) != len(b) {
+			t.Errorf("%s: non-deterministic length", s.Name)
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: non-deterministic at request %d", s.Name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestHEVCHasIdleGaps(t *testing.T) {
+	// Fig. 3's defining property: clusters of requests separated by
+	// tens of millions of cycles.
+	tr := HEVC(16, 10)
+	var maxGap uint64
+	for i := 1; i < len(tr); i++ {
+		if g := tr[i].Time - tr[i-1].Time; g > maxGap {
+			maxGap = g
+		}
+	}
+	if maxGap < 10_000_000 {
+		t.Errorf("largest HEVC gap = %d cycles, want >10M", maxGap)
+	}
+	if tr.Duration() < 400_000_000 {
+		t.Errorf("HEVC duration = %d, want hundreds of millions of cycles", tr.Duration())
+	}
+}
+
+func TestHEVCSparse4KRegions(t *testing.T) {
+	// Fig. 2's defining property: reference reads touch 4KB regions
+	// sparsely, with 64- and 128-byte requests.
+	tr := HEVC(16, 10)
+	sizes := map[uint32]bool{}
+	for _, r := range tr {
+		sizes[r.Size] = true
+	}
+	if !sizes[64] || !sizes[128] {
+		t.Errorf("HEVC sizes = %v, want 64 and 128 present", sizes)
+	}
+}
+
+func TestHEVCMixesReadsAndWrites(t *testing.T) {
+	tr := HEVC(17, 8)
+	r, w := tr.Counts()
+	if r == 0 || w == 0 {
+		t.Errorf("HEVC counts = %d/%d", r, w)
+	}
+}
+
+func TestFBCLinearVsTiledDistinct(t *testing.T) {
+	lin := FBC(6, false)
+	til := FBC(6, true)
+	if len(lin) != len(til) {
+		// Same work per frame, just reordered.
+		t.Logf("linear %d vs tiled %d requests", len(lin), len(til))
+	}
+	// The tiled scan must have far more distinct large strides.
+	strides := func(tr trace.Trace) map[int64]bool {
+		m := map[int64]bool{}
+		for i := 1; i < len(tr); i++ {
+			m[int64(tr[i].Addr)-int64(tr[i-1].Addr)] = true
+		}
+		return m
+	}
+	ls, ts := strides(lin), strides(til)
+	if !ts[4096] {
+		t.Error("tiled scan lacks pitch-sized strides")
+	}
+	_ = ls
+}
+
+func TestDPUWritesNarrowBand(t *testing.T) {
+	// Fig. 12b's property: writes go to a narrow address band.
+	tr := FBC(6, false)
+	var lo, hi uint64 = ^uint64(0), 0
+	for _, r := range tr {
+		if r.Op != trace.Write {
+			continue
+		}
+		if r.Addr < lo {
+			lo = r.Addr
+		}
+		if r.End() > hi {
+			hi = r.End()
+		}
+	}
+	if span := hi - lo; span > 1<<20 {
+		t.Errorf("write band spans %d bytes, want narrow", span)
+	}
+}
+
+func TestGPUBursty(t *testing.T) {
+	// GPU requests inside a burst are only a few cycles apart.
+	tr := GPUGraphics(11, 0.55)
+	close8 := 0
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Time-tr[i-1].Time <= 8 {
+			close8++
+		}
+	}
+	if frac := float64(close8) / float64(len(tr)); frac < 0.5 {
+		t.Errorf("only %.0f%% of GPU gaps <= 8 cycles", frac*100)
+	}
+}
+
+func TestOpenCLStreaming(t *testing.T) {
+	tr := OpenCL(14)
+	r, w := tr.Counts()
+	if r != 2*w {
+		t.Errorf("OpenCL reads %d, writes %d; want 2:1", r, w)
+	}
+}
+
+func TestCPUInteractVariants(t *testing.T) {
+	d := CPUInteract(3, 'D')
+	g := CPUInteract(3, 'G')
+	v := CPUInteract(3, 'V')
+	rd, wd := d.Counts()
+	rv, wv := v.Counts()
+	// DPU partner is write-heavier than the VPU partner.
+	if float64(wd)/float64(rd+wd) <= float64(wv)/float64(rv+wv) {
+		t.Error("CPU-D not write-heavier than CPU-V")
+	}
+	if len(g) == 0 {
+		t.Error("CPU-G empty")
+	}
+}
+
+func TestSPECNamesMatchFig17(t *testing.T) {
+	names := SPECNames()
+	if len(names) != 23 {
+		t.Fatalf("got %d SPEC proxies, want 23", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, n := range Fig15Names() {
+		if !seen[n] {
+			t.Errorf("Fig. 15 benchmark %s missing from catalogue", n)
+		}
+	}
+}
+
+func TestSPECTraceErrorsOnUnknown(t *testing.T) {
+	if _, err := SPECTrace("fortran77"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSPECTraceBasics(t *testing.T) {
+	tr, err := SPECTrace("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 220000 {
+		t.Errorf("gobmk length = %d", len(tr))
+	}
+	if !tr.Sorted() {
+		t.Error("gobmk unsorted")
+	}
+	r, w := tr.Counts()
+	if r == 0 || w == 0 {
+		t.Error("gobmk lacks reads or writes")
+	}
+	for _, req := range tr[:100] {
+		if req.Size != 4 && req.Size != 8 {
+			t.Errorf("CPU-port request size %d, want 4 or 8", req.Size)
+			break
+		}
+	}
+}
+
+func TestSPECDeterministic(t *testing.T) {
+	a, _ := SPECTrace("milc")
+	b, _ := SPECTrace("milc")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SPEC proxy non-deterministic")
+		}
+	}
+}
+
+func TestLibquantumPureStream(t *testing.T) {
+	// libquantum must have no hot component: its non-stack accesses are
+	// a pure stream, which is what makes its miss rate flat.
+	tr, _ := SPECTrace("libquantum")
+	if tr.Footprint(64) < 10000 {
+		t.Errorf("libquantum footprint %d blocks, want large streaming footprint", tr.Footprint(64))
+	}
+}
+
+func TestEmitterJitterBounds(t *testing.T) {
+	e := newEmitter(1)
+	for i := 0; i < 1000; i++ {
+		v := e.jitter(10, 3)
+		if v < 7 || v > 13 {
+			t.Fatalf("jitter(10,3) = %d", v)
+		}
+	}
+	if e.jitter(5, 0) != 5 {
+		t.Error("jitter with zero spread altered base")
+	}
+	if v := e.jitter(1, 10); v < 1 {
+		t.Errorf("jitter floored below 1: %d", v)
+	}
+}

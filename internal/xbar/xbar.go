@@ -1,0 +1,55 @@
+// Package xbar models the crossbar interconnect between compute devices
+// and the memory controllers (the paper's gem5 platform connects its
+// traffic generator to main memory "through a crossbar"). The model adds
+// a base traversal latency plus per-destination-port serialisation: each
+// port moves a bounded number of bytes per cycle, so bursts of traffic to
+// one controller queue up and arrive spread out — a second source of
+// backpressure alongside the controller queues.
+package xbar
+
+// Crossbar is a contention-aware interconnect. The zero value is not
+// usable; construct with New.
+type Crossbar struct {
+	latency  uint64
+	width    uint64 // bytes per cycle per destination port
+	portFree []uint64
+}
+
+// New builds a crossbar with the given number of destination ports, base
+// traversal latency in cycles, and per-port throughput in bytes per
+// cycle.
+func New(ports int, latency, bytesPerCycle uint64) *Crossbar {
+	if ports < 1 {
+		ports = 1
+	}
+	if bytesPerCycle == 0 {
+		bytesPerCycle = 32
+	}
+	return &Crossbar{
+		latency:  latency,
+		width:    bytesPerCycle,
+		portFree: make([]uint64, ports),
+	}
+}
+
+// Latency returns the base traversal latency.
+func (x *Crossbar) Latency() uint64 { return x.latency }
+
+// Transfer schedules a transfer of the given size to a destination port
+// starting no earlier than t, and returns its arrival time at the port.
+// Transfers to one port serialise; different ports are independent.
+func (x *Crossbar) Transfer(t uint64, port int, bytes uint64) uint64 {
+	if port < 0 || port >= len(x.portFree) {
+		port = 0
+	}
+	start := t
+	if x.portFree[port] > start {
+		start = x.portFree[port]
+	}
+	dur := (bytes + x.width - 1) / x.width
+	if dur == 0 {
+		dur = 1
+	}
+	x.portFree[port] = start + dur
+	return start + dur + x.latency
+}

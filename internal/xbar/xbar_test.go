@@ -1,0 +1,80 @@
+package xbar
+
+import "testing"
+
+func TestBaseLatency(t *testing.T) {
+	x := New(4, 20, 32)
+	// 32 bytes at 32 B/cycle = 1 cycle of occupancy + 20 latency.
+	if got := x.Transfer(100, 0, 32); got != 121 {
+		t.Errorf("arrival = %d, want 121", got)
+	}
+	if x.Latency() != 20 {
+		t.Errorf("Latency = %d", x.Latency())
+	}
+}
+
+func TestSamePortSerialises(t *testing.T) {
+	x := New(4, 10, 32)
+	a := x.Transfer(0, 1, 64) // occupies cycles 0-1
+	b := x.Transfer(0, 1, 64) // must wait
+	if b <= a {
+		t.Errorf("second transfer arrived at %d, first at %d", b, a)
+	}
+	if b != a+2 {
+		t.Errorf("serialisation gap = %d, want 2 cycles", b-a)
+	}
+}
+
+func TestDifferentPortsIndependent(t *testing.T) {
+	x := New(4, 10, 32)
+	a := x.Transfer(0, 0, 64)
+	b := x.Transfer(0, 1, 64)
+	if a != b {
+		t.Errorf("independent ports arrived at %d and %d", a, b)
+	}
+}
+
+func TestIdlePortDoesNotDelay(t *testing.T) {
+	x := New(2, 5, 32)
+	x.Transfer(0, 0, 32)
+	// Much later, the port is long free.
+	if got := x.Transfer(1000, 0, 32); got != 1006 {
+		t.Errorf("arrival = %d, want 1006", got)
+	}
+}
+
+func TestZeroByteTransferTakesOneCycle(t *testing.T) {
+	x := New(1, 0, 32)
+	if got := x.Transfer(0, 0, 0); got != 1 {
+		t.Errorf("zero-byte arrival = %d, want 1", got)
+	}
+}
+
+func TestOutOfRangePortClamped(t *testing.T) {
+	x := New(2, 0, 32)
+	if got := x.Transfer(0, 99, 32); got != 1 {
+		t.Errorf("clamped port arrival = %d", got)
+	}
+	if got := x.Transfer(0, -1, 32); got != 2 {
+		t.Errorf("negative port should clamp to port 0 and serialise: %d", got)
+	}
+}
+
+func TestDefensiveDefaults(t *testing.T) {
+	x := New(0, 1, 0)
+	if got := x.Transfer(0, 0, 32); got == 0 {
+		t.Error("degenerate config produced zero arrival")
+	}
+}
+
+func TestThroughputBound(t *testing.T) {
+	// 10 transfers of 128B at 32 B/cycle need 40 cycles of occupancy.
+	x := New(1, 0, 32)
+	var last uint64
+	for i := 0; i < 10; i++ {
+		last = x.Transfer(0, 0, 128)
+	}
+	if last != 40 {
+		t.Errorf("last arrival = %d, want 40", last)
+	}
+}
