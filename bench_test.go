@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -94,6 +95,61 @@ func BenchmarkProfileBuild(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(tr)))
+}
+
+// workerCounts are the explicit fan-outs for the parallel benchmarks.
+// They are fixed worker counts handed to the internal/par pool, entirely
+// independent of b.SetParallelism / RunParallel, so the measured scaling
+// reflects the pipeline's own pool and not the testing package's.
+var workerCounts = []int{1, 2, 4, 8}
+
+func BenchmarkProfileBuildParallel(b *testing.B) {
+	tr := hevc1(b)
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build("HEVC1", tr, core.DefaultConfig(), core.Workers(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(tr)))
+		})
+	}
+}
+
+func BenchmarkSTMBuildParallel(b *testing.B) {
+	tr := hevc1(b)
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := stm.Build("HEVC1", tr, partition.TwoLevelTS(500000), stm.Workers(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllParallel regenerates the full 26-exhibit suite per
+// iteration on a fresh environment, fanned across a fixed worker count.
+// workers=1 is the serial BenchmarkAll-equivalent to compare against.
+func BenchmarkAllParallel(b *testing.B) {
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				env := experiments.NewEnv()
+				tabs := env.AllParallel(w)
+				for _, tab := range tabs {
+					if tab == nil || len(tab.Rows) == 0 {
+						b.Fatal("experiment produced no rows")
+					}
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkSynthesize(b *testing.B) {

@@ -2,26 +2,45 @@
 //
 // Usage:
 //
-//	experiments [-out FILE] [id ...]
+//	experiments [-out FILE] [-j N] [-bench-json FILE] [id ...]
 //
 // With no ids, every experiment runs in paper order. Valid ids are
 // fig2 fig3 table1 table2 table3 fig6 ... fig17 (see -list).
+//
+// -j runs experiments concurrently over a shared, concurrency-safe
+// environment; output order and content are identical for every worker
+// count. -bench-json measures each experiment in isolation (forcing a
+// serial run so timings and allocation counts attribute cleanly) and
+// writes {name, ns_per_op, allocs} rows for tracking performance across
+// revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
+
+// benchRow is one -bench-json record, mirroring testing.B's key metrics.
+type benchRow struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Allocs  uint64 `json:"allocs"`
+}
 
 func main() {
 	out := flag.String("out", "", "also write results to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("j", 0, "concurrent experiments (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS, 1 = serial)")
+	benchJSON := flag.String("bench-json", "", "write per-experiment {name, ns_per_op, allocs} rows to this file (forces serial runs)")
 	flag.Parse()
 
 	if *list {
@@ -46,14 +65,81 @@ func main() {
 	}
 
 	env := experiments.NewEnv()
-	for _, id := range ids {
-		start := time.Now()
-		tab := env.Run(id)
+	if *benchJSON != "" {
+		runBench(env, ids, w, *benchJSON)
+		return
+	}
+
+	j := par.Workers(*workers)
+	if j == 1 {
+		for _, id := range ids {
+			start := time.Now()
+			tab := env.Run(id)
+			if tab == nil {
+				unknown(id)
+			}
+			tab.Fprint(w)
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+
+	// Concurrent run: experiments share env's singleflight caches; tables
+	// are committed by index so output order matches the serial path.
+	start := time.Now()
+	tabs := par.Map(len(ids), j, func(i int) *experiments.Table {
+		return env.Run(ids[i])
+	})
+	for i, tab := range tabs {
 		if tab == nil {
-			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", id)
-			os.Exit(2)
+			unknown(ids[i])
 		}
 		tab.Fprint(w)
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "[%d experiments done in %v with %d workers]\n",
+		len(ids), time.Since(start).Round(time.Millisecond), j)
+}
+
+func unknown(id string) {
+	fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", id)
+	os.Exit(2)
+}
+
+// runBench times each experiment serially on the shared environment and
+// writes one JSON row per experiment. Serial execution keeps ns_per_op
+// and the alloc delta attributable to a single exhibit; note that shared
+// cache effects still make earlier exhibits pay for later ones, exactly
+// as in the paper-order suite.
+func runBench(env *experiments.Env, ids []string, w io.Writer, path string) {
+	rows := make([]benchRow, 0, len(ids))
+	var before, after runtime.MemStats
+	for _, id := range ids {
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		tab := env.Run(id)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if tab == nil {
+			unknown(id)
+		}
+		tab.Fprint(w)
+		rows = append(rows, benchRow{
+			Name:    id,
+			NsPerOp: elapsed.Nanoseconds(),
+			Allocs:  after.Mallocs - before.Mallocs,
+		})
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, elapsed.Round(time.Millisecond))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 }

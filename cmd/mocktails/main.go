@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mocktails profile -in workload.trace.gz -out workload.profile.gz [-interval 500000] [-spatial dynamic|4096]
+//	mocktails profile -in workload.trace.gz -out workload.profile.gz [-interval 500000] [-spatial dynamic|4096] [-j N]
 //	mocktails synth   -in workload.profile.gz -out synthetic.trace.gz [-seed 42]
 //	mocktails stats   -in workload.trace.gz
 //	mocktails simulate -in workload.trace.gz
@@ -101,6 +101,7 @@ func cmdProfile(args []string) {
 	mode := fs.String("temporal", "cycles", "temporal scheme: cycles or requests")
 	spatial := fs.String("spatial", "dynamic", "spatial scheme: dynamic or a block size in bytes")
 	name := fs.String("name", "workload", "workload name stored in the profile")
+	workers := fs.Int("j", 0, "leaf-fitting workers (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS); any value gives identical output")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("profile: need -in and -out"))
@@ -126,7 +127,7 @@ func cmdProfile(args []string) {
 	}
 
 	t := readTrace(*in)
-	p, err := core.Build(*name, t, partition.Config{Layers: layers})
+	p, err := core.Build(*name, t, partition.Config{Layers: layers}, core.Workers(*workers))
 	if err != nil {
 		fatal(err)
 	}

@@ -36,13 +36,21 @@ func DefaultConfig() Config { return partition.TwoLevelTS(500000) }
 // spatial partitioning.
 func CPUPortConfig() Config { return partition.TwoLevelRequestCount(100000, 0) }
 
+// BuildOption configures Build; see profile.Workers.
+type BuildOption = profile.Option
+
+// Workers bounds the goroutines used to fit partition leaves; <= 0
+// selects the MOCKTAILS_PARALLELISM / GOMAXPROCS default. Any worker
+// count produces a byte-identical profile.
+func Workers(n int) BuildOption { return profile.Workers(n) }
+
 // Build creates a Mocktails statistical profile from a trace. The trace
 // must be sorted by time; name labels the workload in the profile.
-func Build(name string, t trace.Trace, cfg Config) (*profile.Profile, error) {
+func Build(name string, t trace.Trace, cfg Config, opts ...BuildOption) (*profile.Profile, error) {
 	if !t.Sorted() {
 		return nil, fmt.Errorf("core: trace %q is not sorted by time", name)
 	}
-	return profile.Build(name, t, cfg)
+	return profile.Build(name, t, cfg, opts...)
 }
 
 // Synthesize returns a live request source that regenerates the

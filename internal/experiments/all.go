@@ -1,107 +1,85 @@
 package experiments
 
+import "repro/internal/par"
+
+// exhibit binds an experiment ID to its runner. The registry below is the
+// single source of truth for experiment identity and order: All,
+// AllParallel, Run and IDs all derive from it, so adding an exhibit is a
+// one-line change.
+type exhibit struct {
+	id  string
+	run func(*Env) *Table
+}
+
+// registry lists every experiment: the paper's exhibits in paper order,
+// then the repository's extension studies (ablations, the §VI privacy
+// extension, and the §VI ChargeCache case study).
+var registry = []exhibit{
+	{"fig2", (*Env).RunFig2},
+	{"fig3", (*Env).RunFig3},
+	{"table1", (*Env).RunTable1},
+	{"table2", (*Env).RunTable2},
+	{"table3", (*Env).RunTable3},
+	{"fig6", (*Env).RunFig6},
+	{"fig7", (*Env).RunFig7},
+	{"fig8", (*Env).RunFig8},
+	{"fig9", (*Env).RunFig9},
+	{"fig10", (*Env).RunFig10},
+	{"fig11", (*Env).RunFig11},
+	{"fig12", (*Env).RunFig12},
+	{"fig13", (*Env).RunFig13},
+	{"fig14", (*Env).RunFig14},
+	{"fig15", (*Env).RunFig15},
+	{"fig16", (*Env).RunFig16},
+	{"fig17", (*Env).RunFig17},
+	{"ablation-spatial", (*Env).RunAblationSpatial},
+	{"ablation-order", (*Env).RunAblationOrder},
+	{"ablation-privacy", (*Env).RunAblationPrivacy},
+	{"chargecache", (*Env).RunChargeCache},
+	{"characterization", (*Env).RunCharacterization},
+	{"ablation-korder", (*Env).RunAblationKOrder},
+	{"energy", (*Env).RunEnergy},
+	{"ablation-policy", (*Env).RunAblationPolicy},
+	{"soc", (*Env).RunSoC},
+}
+
 // All runs every experiment in paper order and returns the tables.
 func (e *Env) All() []*Table {
-	return []*Table{
-		e.RunFig2(),
-		e.RunFig3(),
-		e.RunTable1(),
-		e.RunTable2(),
-		e.RunTable3(),
-		e.RunFig6(),
-		e.RunFig7(),
-		e.RunFig8(),
-		e.RunFig9(),
-		e.RunFig10(),
-		e.RunFig11(),
-		e.RunFig12(),
-		e.RunFig13(),
-		e.RunFig14(),
-		e.RunFig15(),
-		e.RunFig16(),
-		e.RunFig17(),
-		e.RunAblationSpatial(),
-		e.RunAblationOrder(),
-		e.RunAblationPrivacy(),
-		e.RunChargeCache(),
-		e.RunCharacterization(),
-		e.RunAblationKOrder(),
-		e.RunEnergy(),
-		e.RunAblationPolicy(),
-		e.RunSoC(),
+	tables := make([]*Table, len(registry))
+	for i, x := range registry {
+		tables[i] = x.run(e)
 	}
+	return tables
+}
+
+// AllParallel runs every experiment across the given number of workers
+// (<= 0 selects the MOCKTAILS_PARALLELISM / GOMAXPROCS default) and
+// returns the tables in paper order, row-for-row identical to All: every
+// experiment derives its data purely from the Env seed, the shared caches
+// memoise values that do not depend on who computed them, and results are
+// committed by registry index.
+func (e *Env) AllParallel(workers int) []*Table {
+	return par.Map(len(registry), workers, func(i int) *Table {
+		return registry[i].run(e)
+	})
 }
 
 // Run executes the experiment with the given ID ("fig6", "table2", ...)
 // and returns its table, or nil when the ID is unknown.
 func (e *Env) Run(id string) *Table {
-	switch id {
-	case "fig2":
-		return e.RunFig2()
-	case "fig3":
-		return e.RunFig3()
-	case "table1":
-		return e.RunTable1()
-	case "table2":
-		return e.RunTable2()
-	case "table3":
-		return e.RunTable3()
-	case "fig6":
-		return e.RunFig6()
-	case "fig7":
-		return e.RunFig7()
-	case "fig8":
-		return e.RunFig8()
-	case "fig9":
-		return e.RunFig9()
-	case "fig10":
-		return e.RunFig10()
-	case "fig11":
-		return e.RunFig11()
-	case "fig12":
-		return e.RunFig12()
-	case "fig13":
-		return e.RunFig13()
-	case "fig14":
-		return e.RunFig14()
-	case "fig15":
-		return e.RunFig15()
-	case "fig16":
-		return e.RunFig16()
-	case "fig17":
-		return e.RunFig17()
-	case "ablation-spatial":
-		return e.RunAblationSpatial()
-	case "ablation-order":
-		return e.RunAblationOrder()
-	case "ablation-privacy":
-		return e.RunAblationPrivacy()
-	case "chargecache":
-		return e.RunChargeCache()
-	case "characterization":
-		return e.RunCharacterization()
-	case "ablation-korder":
-		return e.RunAblationKOrder()
-	case "energy":
-		return e.RunEnergy()
-	case "ablation-policy":
-		return e.RunAblationPolicy()
-	case "soc":
-		return e.RunSoC()
-	default:
-		return nil
+	for _, x := range registry {
+		if x.id == id {
+			return x.run(e)
+		}
 	}
+	return nil
 }
 
-// IDs lists every experiment ID: the paper's exhibits in paper order,
-// then the repository's extension studies (ablations, the §VI privacy
-// extension, and the §VI ChargeCache case study).
+// IDs lists every experiment ID in paper order.
 func IDs() []string {
-	return []string{
-		"fig2", "fig3", "table1", "table2", "table3",
-		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-		"fig14", "fig15", "fig16", "fig17",
-		"ablation-spatial", "ablation-order", "ablation-privacy", "chargecache",
-		"characterization", "ablation-korder", "energy", "ablation-policy", "soc",
+	ids := make([]string, len(registry))
+	for i, x := range registry {
+		ids[i] = x.id
 	}
+	return ids
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -63,8 +64,43 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// memo is a concurrency-safe, singleflight-style cache: the first caller
+// of a key computes the value while later callers of the same key block
+// until it is ready, and distinct keys compute in parallel. This is what
+// lets AllParallel share one Env across workers — experiments that reuse
+// another exhibit's simulation wait for it instead of recomputing it.
+type memo[V any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	v    V
+}
+
+// get returns the memoised value for key, computing it at most once.
+// A compute that panics poisons the entry (the once is spent), matching
+// the fail-fast behaviour of the serial accessors.
+func (c *memo[V]) get(key string, compute func() V) V {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*memoEntry[V])
+	}
+	e := c.m[key]
+	if e == nil {
+		e = &memoEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.v = compute() })
+	return e.v
+}
+
 // Env caches traces, profiles and simulation results so that running all
-// the figures does not repeat work. Zero value is not usable; call NewEnv.
+// the figures does not repeat work. Every method is safe for concurrent
+// use: the caches are singleflight memos, so one Env can be shared by
+// All and AllParallel alike. Zero value is not usable; call NewEnv.
 type Env struct {
 	// DRAMCfg is the Table III memory configuration.
 	DRAMCfg dram.Config
@@ -75,15 +111,15 @@ type Env struct {
 	// IntervalCycles is the 2L-TS temporal partition length.
 	IntervalCycles uint64
 
-	traces map[string]trace.Trace
-	base   map[string]dram.Result
-	mcc    map[string]dram.Result
-	stmRes map[string]dram.Result
+	traces memo[trace.Trace]
+	base   memo[dram.Result]
+	mcc    memo[dram.Result]
+	stmRes memo[dram.Result]
 
-	specTraces map[string]trace.Trace
-	specDyn    map[string]trace.Trace
-	spec4K     map[string]trace.Trace
-	specHRD    map[string]trace.Trace
+	specTraces memo[trace.Trace]
+	specDyn    memo[trace.Trace]
+	spec4K     memo[trace.Trace]
+	specHRD    memo[trace.Trace]
 }
 
 // NewEnv returns an environment with the paper's defaults.
@@ -93,67 +129,47 @@ func NewEnv() *Env {
 		XbarLat:        20,
 		Seed:           42,
 		IntervalCycles: 500000,
-		traces:         make(map[string]trace.Trace),
-		base:           make(map[string]dram.Result),
-		mcc:            make(map[string]dram.Result),
-		stmRes:         make(map[string]dram.Result),
-		specTraces:     make(map[string]trace.Trace),
-		specDyn:        make(map[string]trace.Trace),
-		spec4K:         make(map[string]trace.Trace),
-		specHRD:        make(map[string]trace.Trace),
 	}
 }
 
 // Trace returns (generating and caching) the named Table II proxy trace.
 func (e *Env) Trace(name string) trace.Trace {
-	if t, ok := e.traces[name]; ok {
-		return t
-	}
-	s, err := workloads.Find(name)
-	if err != nil {
-		panic(err)
-	}
-	t := s.Gen()
-	e.traces[name] = t
-	return t
+	return e.traces.get(name, func() trace.Trace {
+		s, err := workloads.Find(name)
+		if err != nil {
+			panic(err)
+		}
+		return s.Gen()
+	})
 }
 
 // Baseline simulates the original trace through the memory system.
 func (e *Env) Baseline(name string) dram.Result {
-	if r, ok := e.base[name]; ok {
-		return r
-	}
-	r := dram.Run(trace.NewReplayer(e.Trace(name)), e.DRAMCfg, e.XbarLat)
-	e.base[name] = r
-	return r
+	return e.base.get(name, func() dram.Result {
+		return dram.Run(trace.NewReplayer(e.Trace(name)), e.DRAMCfg, e.XbarLat)
+	})
 }
 
 // McC simulates the Mocktails 2L-TS (McC) recreation of the trace.
 func (e *Env) McC(name string) dram.Result {
-	if r, ok := e.mcc[name]; ok {
-		return r
-	}
-	p, err := core.Build(name, e.Trace(name), partition.TwoLevelTS(e.IntervalCycles))
-	if err != nil {
-		panic(err)
-	}
-	r := dram.Run(core.Synthesize(p, e.Seed), e.DRAMCfg, e.XbarLat)
-	e.mcc[name] = r
-	return r
+	return e.mcc.get(name, func() dram.Result {
+		p, err := core.Build(name, e.Trace(name), partition.TwoLevelTS(e.IntervalCycles))
+		if err != nil {
+			panic(err)
+		}
+		return dram.Run(core.Synthesize(p, e.Seed), e.DRAMCfg, e.XbarLat)
+	})
 }
 
 // STM simulates the 2L-TS (STM) baseline recreation of the trace.
 func (e *Env) STM(name string) dram.Result {
-	if r, ok := e.stmRes[name]; ok {
-		return r
-	}
-	p, err := stm.Build(name, e.Trace(name), partition.TwoLevelTS(e.IntervalCycles))
-	if err != nil {
-		panic(err)
-	}
-	r := dram.Run(stm.Synthesize(p, e.Seed), e.DRAMCfg, e.XbarLat)
-	e.stmRes[name] = r
-	return r
+	return e.stmRes.get(name, func() dram.Result {
+		p, err := stm.Build(name, e.Trace(name), partition.TwoLevelTS(e.IntervalCycles))
+		if err != nil {
+			panic(err)
+		}
+		return dram.Run(stm.Synthesize(p, e.Seed), e.DRAMCfg, e.XbarLat)
+	})
 }
 
 // Profile builds (uncached) the Mocktails profile of a Table II trace.

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/trace"
+)
+
+// tablesEqual reports row-for-row equality and fails with the first
+// diverging exhibit.
+func tablesEqual(t *testing.T, serial, parallel []*Table) {
+	t.Helper()
+	if len(serial) != len(parallel) {
+		t.Fatalf("len(parallel) = %d, want %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("exhibit %d (%s): parallel table differs from serial", i, serial[i].ID)
+		}
+	}
+}
+
+// TestRunParallelSubsetMatchesSerial is the fast always-on determinism
+// check: a handful of cheap exhibits — including pairs that share Env
+// caches — through a concurrently shared Env must reproduce the serial
+// tables exactly.
+func TestRunParallelSubsetMatchesSerial(t *testing.T) {
+	ids := []string{"fig2", "fig3", "table1", "table2", "table3", "energy", "characterization", "soc"}
+
+	serialEnv := NewEnv()
+	serial := make([]*Table, len(ids))
+	for i, id := range ids {
+		serial[i] = serialEnv.Run(id)
+	}
+
+	parEnv := NewEnv()
+	parallel := par.Map(len(ids), 8, func(i int) *Table {
+		return parEnv.Run(ids[i])
+	})
+	tablesEqual(t, serial, parallel)
+}
+
+// TestAllParallelMatchesAll is the tentpole acceptance test: the full
+// 26-exhibit suite through AllParallel must match All row-for-row. It
+// runs the whole evaluation twice, so it is skipped in -short mode.
+func TestAllParallelMatchesAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite determinism check skipped in -short mode")
+	}
+	serial := NewEnv().All()
+	parallel := NewEnv().AllParallel(8)
+	tablesEqual(t, serial, parallel)
+}
+
+// TestEnvSingleflight asserts the property the concurrent Env relies on:
+// goroutines racing on the same key all get the one cached value, not
+// separate generations.
+func TestEnvSingleflight(t *testing.T) {
+	env := NewEnv()
+	heads := par.Map(8, 8, func(int) *trace.Request {
+		tr := env.Trace("HEVC1")
+		if len(tr) == 0 {
+			t.Error("empty trace")
+			return nil
+		}
+		return &tr[0]
+	})
+	for _, h := range heads[1:] {
+		if h != heads[0] {
+			t.Fatal("concurrent Trace() calls returned distinct slices for the same name")
+		}
+	}
+}

@@ -21,45 +21,38 @@ import (
 
 // SpecTrace returns (cached) the proxy trace for a SPEC benchmark.
 func (e *Env) SpecTrace(name string) trace.Trace {
-	if t, ok := e.specTraces[name]; ok {
+	return e.specTraces.get(name, func() trace.Trace {
+		t, err := workloads.SPECTrace(name)
+		if err != nil {
+			panic(err)
+		}
 		return t
-	}
-	t, err := workloads.SPECTrace(name)
-	if err != nil {
-		panic(err)
-	}
-	e.specTraces[name] = t
-	return t
+	})
 }
 
 // SpecClone returns (cached) the Mocktails recreation of a SPEC proxy
 // with dynamic (blockSize == 0) or fixed-size spatial partitioning.
 func (e *Env) SpecClone(name string, blockSize uint64) trace.Trace {
-	cacheMap := e.specDyn
+	cache := &e.specDyn
 	if blockSize != 0 {
-		cacheMap = e.spec4K
+		cache = &e.spec4K
 	}
-	if t, ok := cacheMap[name]; ok {
-		return t
-	}
-	cfg := partition.TwoLevelRequestCount(100000, blockSize)
-	syn, _, err := core.Clone(name, e.SpecTrace(name), cfg, e.Seed)
-	if err != nil {
-		panic(err)
-	}
-	cacheMap[name] = syn
-	return syn
+	return cache.get(name, func() trace.Trace {
+		cfg := partition.TwoLevelRequestCount(100000, blockSize)
+		syn, _, err := core.Clone(name, e.SpecTrace(name), cfg, e.Seed)
+		if err != nil {
+			panic(err)
+		}
+		return syn
+	})
 }
 
 // SpecHRD returns (cached) the HRD recreation of a SPEC proxy.
 func (e *Env) SpecHRD(name string) trace.Trace {
-	if t, ok := e.specHRD[name]; ok {
-		return t
-	}
-	m := hrd.Fit(e.SpecTrace(name))
-	t := hrd.Synthesize(m, e.Seed)
-	e.specHRD[name] = t
-	return t
+	return e.specHRD.get(name, func() trace.Trace {
+		m := hrd.Fit(e.SpecTrace(name))
+		return hrd.Synthesize(m, e.Seed)
+	})
 }
 
 // CacheRun is the result of one trace through one cache configuration.

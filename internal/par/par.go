@@ -1,0 +1,112 @@
+// Package par provides the repository's parallelism primitives: a bounded
+// worker pool with ordered results (Map, ForEach) and a buffered byte pipe
+// (NewPipe) for overlapping I/O with encoding and decoding.
+//
+// Determinism is the design constraint. Map commits results by index, so a
+// caller that fans deterministic per-item work across workers gets output
+// identical to a serial loop regardless of the worker count or scheduling.
+// Callers keep any randomness item-local (leaf-local RNG forks, per-run
+// seeds) and the whole pipeline stays bit-reproducible.
+//
+// The default worker count is GOMAXPROCS, overridable process-wide with
+// the MOCKTAILS_PARALLELISM environment variable and per-call with an
+// explicit worker argument (values <= 0 select the default).
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable that overrides the default worker
+// count for the whole process.
+const EnvVar = "MOCKTAILS_PARALLELISM"
+
+// Default returns the process-wide default worker count: the value of
+// MOCKTAILS_PARALLELISM when set to a positive integer, else GOMAXPROCS.
+func Default() int {
+	if s := os.Getenv(EnvVar); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers normalises a caller-supplied worker count: positive values are
+// returned unchanged, anything else selects Default().
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return Default()
+}
+
+// Map applies fn to every index in [0, n) using at most workers
+// goroutines (<= 0 selects Default()) and returns the results ordered by
+// index. Work is distributed dynamically (an atomic counter), so uneven
+// item costs balance across workers; results are committed by index, so
+// the output is identical to a serial loop.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// ForEach applies fn to every index in [0, n) using at most workers
+// goroutines (<= 0 selects Default()). It returns once every call has
+// completed. When only one worker is requested (or useful) the loop runs
+// on the calling goroutine with no synchronisation overhead.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal atomic.Value
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !panicked.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							// First panic wins; re-raised on the caller's
+							// goroutine so parallel callers see the same
+							// recoverable panic a serial loop would.
+							if panicked.CompareAndSwap(false, true) {
+								panicVal.Store(r)
+							}
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal.Load())
+	}
+}

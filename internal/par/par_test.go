@@ -1,0 +1,158 @@
+package par
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got := Map(257, workers, func(i int) int { return i * i })
+		if len(got) != 257 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("Map(0) returned %d results", len(got))
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	var visits [n]atomic.Int32
+	ForEach(n, 7, func(i int) { visits[i].Add(1) })
+	for i := range visits {
+		if c := visits[i].Load(); c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	ForEach(100, 4, func(i int) {
+		if i == 42 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkersNormalise(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	t.Setenv(EnvVar, "5")
+	if got := Workers(0); got != 5 {
+		t.Fatalf("Workers(0) with %s=5 = %d", EnvVar, got)
+	}
+	if got := Default(); got != 5 {
+		t.Fatalf("Default() with %s=5 = %d", EnvVar, got)
+	}
+	t.Setenv(EnvVar, "bogus")
+	if got := Default(); got < 1 {
+		t.Fatalf("Default() with bogus env = %d", got)
+	}
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	for _, size := range []int{0, 1, 100, 1 << 10, 1 << 18, 1<<20 + 17} {
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		pr, pw := NewPipe(4096, 2)
+		go func() {
+			// Write in awkwardly sized slices to exercise chunking.
+			b := payload
+			for len(b) > 0 {
+				n := 1000
+				if n > len(b) {
+					n = len(b)
+				}
+				if _, err := pw.Write(b[:n]); err != nil {
+					pw.CloseWithError(err)
+					return
+				}
+				b = b[n:]
+			}
+			pw.Close()
+		}()
+		got, err := io.ReadAll(pr)
+		if err != nil {
+			t.Fatalf("size %d: read: %v", size, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("size %d: payload corrupted in transit", size)
+		}
+	}
+}
+
+func TestPipeWriterErrorReachesReader(t *testing.T) {
+	pr, pw := NewPipe(16, 1)
+	want := errors.New("producer failed")
+	go func() {
+		pw.Write([]byte("partial"))
+		pw.CloseWithError(want)
+	}()
+	got, err := io.ReadAll(pr)
+	if !errors.Is(err, want) {
+		t.Fatalf("read error = %v, want %v", err, want)
+	}
+	if string(got) != "partial" {
+		t.Fatalf("read %q before error, want %q", got, "partial")
+	}
+}
+
+func TestPipeReaderCloseUnblocksWriter(t *testing.T) {
+	pr, pw := NewPipe(8, 1)
+	errc := make(chan error, 1)
+	go func() {
+		// Enough writes to fill the chunk buffer and the channel, so the
+		// producer must block until the reader goes away.
+		var err error
+		for i := 0; i < 100 && err == nil; i++ {
+			_, err = pw.Write(bytes.Repeat([]byte{byte(i)}, 8))
+		}
+		errc <- err
+	}()
+	pr.Close()
+	if err := <-errc; !errors.Is(err, ErrClosedPipe) {
+		t.Fatalf("writer error = %v, want ErrClosedPipe", err)
+	}
+}
+
+func BenchmarkMap(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Map(64, workers, func(j int) int {
+					s := 0
+					for k := 0; k < 10000; k++ {
+						s += k ^ j
+					}
+					return s
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package par
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrClosedPipe is returned by PipeWriter.Write after the reader has
+// closed its end.
+var ErrClosedPipe = errors.New("par: write on closed pipe")
+
+// pipe is the shared state of a buffered byte pipe: a channel of filled
+// chunks plus a done channel the reader closes to unblock a producer
+// whose consumer has gone away.
+type pipe struct {
+	ch   chan []byte
+	done chan struct{}
+
+	closeDone sync.Once
+	closeCh   sync.Once
+
+	// err is the producer's terminal error. It is written before ch is
+	// closed and read only after ch is observed closed, so the channel
+	// close orders the accesses.
+	err error
+}
+
+// PipeWriter is the producing end of a buffered pipe.
+type PipeWriter struct {
+	p         *pipe
+	buf       []byte
+	chunkSize int
+}
+
+// PipeReader is the consuming end of a buffered pipe.
+type PipeReader struct {
+	p   *pipe
+	cur []byte
+}
+
+// NewPipe returns a connected reader/writer pair buffering up to depth
+// chunks of chunkSize bytes. Unlike io.Pipe, which rendezvouses every
+// Write with a Read, the buffered channel lets the producer run ahead of
+// the consumer, so an encoder and a compressor (or a decompressor and a
+// parser) genuinely overlap. Close the writer with CloseWithError when
+// production ends; close the reader to abandon consumption early.
+func NewPipe(chunkSize, depth int) (*PipeReader, *PipeWriter) {
+	if chunkSize <= 0 {
+		chunkSize = 128 << 10
+	}
+	if depth <= 0 {
+		depth = 4
+	}
+	p := &pipe{ch: make(chan []byte, depth), done: make(chan struct{})}
+	return &PipeReader{p: p}, &PipeWriter{p: p, chunkSize: chunkSize}
+}
+
+// Write buffers b, handing completed chunks to the reader. It returns
+// ErrClosedPipe if the reader has closed its end.
+func (w *PipeWriter) Write(b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		if w.buf == nil {
+			w.buf = make([]byte, 0, w.chunkSize)
+		}
+		free := w.chunkSize - len(w.buf)
+		take := len(b)
+		if take > free {
+			take = free
+		}
+		w.buf = append(w.buf, b[:take]...)
+		total += take
+		b = b[take:]
+		if len(w.buf) == w.chunkSize {
+			if err := w.flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// flush hands the current chunk to the reader.
+func (w *PipeWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	select {
+	case w.p.ch <- w.buf:
+		w.buf = nil
+		return nil
+	case <-w.p.done:
+		return ErrClosedPipe
+	}
+}
+
+// CloseWithError flushes buffered bytes and closes the writer; the reader
+// sees err (io.EOF when err is nil) after draining. Safe to call once per
+// writer; subsequent writes are invalid.
+func (w *PipeWriter) CloseWithError(err error) {
+	ferr := w.flush()
+	w.p.closeCh.Do(func() {
+		if err != nil {
+			w.p.err = err
+		} else if ferr != nil && ferr != ErrClosedPipe {
+			w.p.err = ferr
+		}
+		close(w.p.ch)
+	})
+}
+
+// Close closes the writer cleanly; equivalent to CloseWithError(nil).
+func (w *PipeWriter) Close() error {
+	w.CloseWithError(nil)
+	return nil
+}
+
+// Read returns buffered bytes, blocking for the next chunk when empty.
+// After the writer closes, Read drains remaining chunks and then returns
+// the writer's error (io.EOF on clean close).
+func (r *PipeReader) Read(b []byte) (int, error) {
+	for len(r.cur) == 0 {
+		chunk, ok := <-r.p.ch
+		if !ok {
+			if r.p.err != nil {
+				return 0, r.p.err
+			}
+			return 0, io.EOF
+		}
+		r.cur = chunk
+	}
+	n := copy(b, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+// Close releases the reader; a blocked or future producer Write fails
+// with ErrClosedPipe instead of hanging. Always close the reader when
+// abandoning a pipe before EOF.
+func (r *PipeReader) Close() error {
+	r.p.closeDone.Do(func() { close(r.p.done) })
+	return nil
+}

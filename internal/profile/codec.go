@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"repro/internal/markov"
+	"repro/internal/par"
 )
 
 // The profile format uses varint-encoded records wrapped in gzip. The
@@ -25,29 +26,31 @@ const (
 	modelMarkov   = 1
 )
 
-// Write serialises the profile (uncompressed varint records).
+// Write serialises the profile (uncompressed varint records). Records
+// stream through a bufio.Writer rather than accumulating in one large
+// buffer, so WriteGzip can overlap encoding with compression.
 func Write(w io.Writer, p *Profile) error {
-	var buf bytes.Buffer
+	bw := bufio.NewWriter(w)
 	var tmp [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		n := binary.PutUvarint(tmp[:], v)
-		buf.Write(tmp[:n])
+		bw.Write(tmp[:n])
 	}
 	putVarint := func(v int64) {
 		n := binary.PutVarint(tmp[:], v)
-		buf.Write(tmp[:n])
+		bw.Write(tmp[:n])
 	}
 	putString := func(s string) {
 		putUvarint(uint64(len(s)))
-		buf.WriteString(s)
+		bw.WriteString(s)
 	}
 	putModel := func(m *markov.Model) {
 		if m.Constant {
-			buf.WriteByte(modelConstant)
+			bw.WriteByte(modelConstant)
 			putVarint(m.Value)
 			return
 		}
-		buf.WriteByte(modelMarkov)
+		bw.WriteByte(modelMarkov)
 		putVarint(m.Initial)
 		putUvarint(uint64(len(m.Rows)))
 		for _, r := range m.Rows {
@@ -63,7 +66,7 @@ func Write(w io.Writer, p *Profile) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], profileMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], profileVersion)
-	buf.Write(hdr[:])
+	bw.Write(hdr[:])
 	putString(p.Name)
 	putString(p.Config)
 	putUvarint(uint64(len(p.Leaves)))
@@ -79,8 +82,7 @@ func Write(w io.Writer, p *Profile) error {
 		putModel(&l.Op)
 		putModel(&l.Size)
 	}
-	_, err := w.Write(buf.Bytes())
-	return err
+	return bw.Flush()
 }
 
 // Read deserialises a profile written by Write.
@@ -213,23 +215,43 @@ func Read(r io.Reader) (*Profile, error) {
 }
 
 // WriteGzip writes the profile through gzip; this is the on-disk format.
+// Encoding runs on a producer goroutine feeding a buffered pipe while the
+// caller compresses, mirroring trace.WriteGzip; gzip output depends only
+// on the byte stream, so the bytes match an unpipelined write.
 func WriteGzip(w io.Writer, p *Profile) error {
 	zw := gzip.NewWriter(w)
-	if err := Write(zw, p); err != nil {
+	pr, pw := par.NewPipe(0, 0)
+	go func() {
+		pw.CloseWithError(Write(pw, p))
+	}()
+	if _, err := io.Copy(zw, pr); err != nil {
+		pr.Close()
 		zw.Close()
 		return err
 	}
 	return zw.Close()
 }
 
-// ReadGzip reads a profile written by WriteGzip.
+// ReadGzip reads a profile written by WriteGzip. Decompression overlaps
+// varint parsing via a buffered pipe.
 func ReadGzip(r io.Reader) (*Profile, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, err
 	}
-	defer zr.Close()
-	return Read(zr)
+	pr, pw := par.NewPipe(0, 0)
+	go func() {
+		_, cerr := io.Copy(pw, zr)
+		if cerr == nil {
+			cerr = zr.Close()
+		} else {
+			zr.Close()
+		}
+		pw.CloseWithError(cerr)
+	}()
+	p, err := Read(pr)
+	pr.Close()
+	return p, err
 }
 
 // EncodedSize returns the gzip-compressed size of the profile in bytes,

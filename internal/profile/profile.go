@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/markov"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/trace"
 )
@@ -45,23 +46,58 @@ type Profile struct {
 	Leaves []Leaf
 }
 
+// Option configures Build.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	workers int
+}
+
+// Workers sets the number of goroutines Build fits leaves with. Values
+// <= 0 (and omitting the option) select par.Default(): the
+// MOCKTAILS_PARALLELISM environment variable when set, else GOMAXPROCS.
+// The result is identical for every worker count.
+func Workers(n int) Option {
+	return func(o *buildOptions) { o.workers = n }
+}
+
 // Build constructs a profile from a trace using the given hierarchical
 // configuration. The trace must be in injection (time) order.
-func Build(name string, t trace.Trace, cfg partition.Config) (*Profile, error) {
+//
+// Leaves are fitted in parallel (see Workers) and committed by index, so
+// Leaves ordering — and therefore the encoded profile — is byte-identical
+// to a serial build.
+func Build(name string, t trace.Trace, cfg partition.Config, opts ...Option) (*Profile, error) {
+	var o buildOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	leaves, err := partition.Split(t, cfg)
 	if err != nil {
 		return nil, err
 	}
-	p := &Profile{Name: name, Config: cfg.String(), Leaves: make([]Leaf, 0, len(leaves))}
-	for _, l := range leaves {
-		p.Leaves = append(p.Leaves, fitLeaf(l))
-	}
+	p := &Profile{Name: name, Config: cfg.String()}
+	p.Leaves = par.Map(len(leaves), o.workers, func(i int) Leaf {
+		return fitLeaf(leaves[i])
+	})
 	return p, nil
 }
 
-// fitLeaf fits the four McC models of one partition.
+// fitLeaf fits the four McC models of one partition. An empty partition
+// yields a zero-count Leaf whose models are empty constants; synthesis
+// emits nothing for it.
 func fitLeaf(l partition.Leaf) Leaf {
 	n := len(l.Reqs)
+	if n == 0 {
+		return Leaf{
+			Lo:        l.Lo,
+			Hi:        l.Hi,
+			DeltaTime: markov.Fit(nil),
+			Stride:    markov.Fit(nil),
+			Op:        markov.Fit(nil),
+			Size:      markov.Fit(nil),
+		}
+	}
 	deltas := make([]int64, 0, n-1)
 	strides := make([]int64, 0, n-1)
 	ops := make([]int64, 0, n)

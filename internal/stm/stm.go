@@ -15,6 +15,7 @@ package stm
 
 import (
 	"repro/internal/markov"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/stats"
 	"repro/internal/synth"
@@ -52,22 +53,50 @@ type Profile struct {
 	Leaves []Leaf
 }
 
+// Option configures Build.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	workers int
+}
+
+// Workers sets the number of goroutines Build fits leaves with. Values
+// <= 0 select par.Default(). The result is identical for every worker
+// count.
+func Workers(n int) Option {
+	return func(o *buildOptions) { o.workers = n }
+}
+
 // Build fits an STM profile using the same partitioning hierarchy as
-// Mocktails.
-func Build(name string, t trace.Trace, cfg partition.Config) (*Profile, error) {
+// Mocktails. Leaves are fitted in parallel and committed by index, so the
+// profile is identical to a serial build.
+func Build(name string, t trace.Trace, cfg partition.Config, opts ...Option) (*Profile, error) {
+	var o buildOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	leaves, err := partition.Split(t, cfg)
 	if err != nil {
 		return nil, err
 	}
-	p := &Profile{Name: name, Leaves: make([]Leaf, 0, len(leaves))}
-	for _, l := range leaves {
-		p.Leaves = append(p.Leaves, fitLeaf(l))
-	}
+	p := &Profile{Name: name}
+	p.Leaves = par.Map(len(leaves), o.workers, func(i int) Leaf {
+		return fitLeaf(leaves[i])
+	})
 	return p, nil
 }
 
 func fitLeaf(l partition.Leaf) Leaf {
 	n := len(l.Reqs)
+	if n == 0 {
+		return Leaf{
+			Lo:        l.Lo,
+			Hi:        l.Hi,
+			DeltaTime: markov.Fit(nil),
+			Size:      markov.Fit(nil),
+			Addr:      FitAddr(nil),
+		}
+	}
 	deltas := make([]int64, 0, n-1)
 	sizes := make([]int64, 0, n)
 	var reads, writes uint32

@@ -189,3 +189,42 @@ func TestBinaryRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGzipDeterministicBytes guards the pipelined WriteGzip: the encoded
+// stream must not depend on chunk boundaries or scheduling, so repeated
+// writes of the same trace produce identical bytes, including a large
+// trace that crosses many pipe chunks.
+func TestGzipDeterministicBytes(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(9)), 200000)
+	var a, b bytes.Buffer
+	if err := WriteGzip(&a, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGzip(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("pipelined WriteGzip is not byte-deterministic")
+	}
+	got, err := ReadGzip(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatal("large pipelined round trip corrupted the trace")
+	}
+}
+
+// TestGzipReadPropagatesCorruption: a truncated gzip stream must surface
+// an error through the pipelined reader, not hang or return short data.
+func TestGzipReadPropagatesCorruption(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(3)), 5000)
+	var buf bytes.Buffer
+	if err := WriteGzip(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadGzip(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated gzip stream read without error")
+	}
+}
