@@ -152,17 +152,45 @@ func BenchmarkAllParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSynthesize tracks the synthesis hot path on the two profiles
+// recorded in BENCH_synth.json: small = OpenCL1 (9 big leaves, sampling
+// kernel bound) and large = Manhattan (7524 leaves, merge bound), each
+// serially and with parallel chunk refill. Output is bit-identical
+// across all variants; only throughput differs.
 func BenchmarkSynthesize(b *testing.B) {
-	tr := hevc1(b)
-	p, err := core.Build("HEVC1", tr, core.DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
+	cases := []struct{ size, workload string }{
+		{"small", "OpenCL1"},
+		{"large", "Manhattan"},
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if got := core.SynthesizeTrace(p, uint64(i)); len(got) != len(tr) {
-			b.Fatal("short synthesis")
+	for _, c := range cases {
+		s, err := workloads.Find(c.workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := s.Gen()
+		p, err := core.Build(c.workload, tr, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.size+"/serial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := core.SynthesizeTrace(p, uint64(i)); len(got) != len(tr) {
+					b.Fatal("short synthesis")
+				}
+			}
+			b.SetBytes(int64(len(tr)))
+		})
+		for _, w := range workerCounts[1:] {
+			b.Run(fmt.Sprintf("%s/workers=%d", c.size, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if got := core.SynthesizeTrace(p, uint64(i), core.SynthWorkers(w)); len(got) != len(tr) {
+						b.Fatal("short synthesis")
+					}
+				}
+				b.SetBytes(int64(len(tr)))
+			})
 		}
 	}
 }

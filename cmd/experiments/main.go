@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/par"
 )
@@ -40,7 +41,8 @@ func main() {
 	out := flag.String("out", "", "also write results to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("j", 0, "concurrent experiments (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS, 1 = serial)")
-	benchJSON := flag.String("bench-json", "", "write per-experiment {name, ns_per_op, allocs} rows to this file (forces serial runs)")
+	synthWorkers := flag.Int("synth-j", 1, "chunk-refill workers per synthesis (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS, 1 = serial); any value gives identical tables")
+	benchJSON := flag.String("bench-json", "", "write per-experiment and synthesis {name, ns_per_op, allocs} rows to this file (forces serial runs)")
 	flag.Parse()
 
 	if *list {
@@ -65,6 +67,7 @@ func main() {
 	}
 
 	env := experiments.NewEnv()
+	env.SynthWorkers = par.Workers(*synthWorkers)
 	if *benchJSON != "" {
 		runBench(env, ids, w, *benchJSON)
 		return
@@ -105,11 +108,52 @@ func unknown(id string) {
 	os.Exit(2)
 }
 
+// synthBench measures synthesis throughput on the two tracked profiles
+// (the same cases as BenchmarkSynthesize and BENCH_synth.json) and
+// returns one row per case.
+func synthBench(env *experiments.Env) []benchRow {
+	cases := []struct {
+		name, workload string
+		workers        int
+	}{
+		{"synth/small/serial", "OpenCL1", 1},
+		{"synth/large/serial", "Manhattan", 1},
+		{"synth/large/j", "Manhattan", par.Default()},
+	}
+	var rows []benchRow
+	var before, after runtime.MemStats
+	for _, c := range cases {
+		p, err := core.Build(c.workload, env.Trace(c.workload), core.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		core.SynthesizeTrace(p, 0, core.SynthWorkers(c.workers)) // warm up
+		const iters = 10
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			core.SynthesizeTrace(p, uint64(i), core.SynthWorkers(c.workers))
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		rows = append(rows, benchRow{
+			Name:    c.name,
+			NsPerOp: elapsed.Nanoseconds() / iters,
+			Allocs:  (after.Mallocs - before.Mallocs) / iters,
+		})
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", c.name, (elapsed / iters).Round(time.Microsecond))
+	}
+	return rows
+}
+
 // runBench times each experiment serially on the shared environment and
-// writes one JSON row per experiment. Serial execution keeps ns_per_op
-// and the alloc delta attributable to a single exhibit; note that shared
-// cache effects still make earlier exhibits pay for later ones, exactly
-// as in the paper-order suite.
+// writes one JSON row per experiment, followed by the synthesis rows
+// tracked in BENCH_synth.json (small = OpenCL1, merge-light; large =
+// Manhattan, merge-heavy; serial and parallel). Serial execution keeps
+// ns_per_op and the alloc delta attributable to a single exhibit; note
+// that shared cache effects still make earlier exhibits pay for later
+// ones, exactly as in the paper-order suite.
 func runBench(env *experiments.Env, ids []string, w io.Writer, path string) {
 	rows := make([]benchRow, 0, len(ids))
 	var before, after runtime.MemStats
@@ -130,6 +174,7 @@ func runBench(env *experiments.Env, ids []string, w io.Writer, path string) {
 		})
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, elapsed.Round(time.Millisecond))
 	}
+	rows = append(rows, synthBench(env)...)
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mocktails profile -in workload.trace.gz -out workload.profile.gz [-interval 500000] [-spatial dynamic|4096] [-j N]
-//	mocktails synth   -in workload.profile.gz -out synthetic.trace.gz [-seed 42]
+//	mocktails synth   -in workload.profile.gz -out synthetic.trace.gz [-seed 42] [-j N] [-batch N]
 //	mocktails stats   -in workload.trace.gz
 //	mocktails simulate -in workload.trace.gz
 //	mocktails analyze -in workload.trace.gz [-top 8]
@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/profile"
 	"repro/internal/trace"
@@ -147,6 +148,8 @@ func cmdSynth(args []string) {
 	in := fs.String("in", "", "input profile")
 	out := fs.String("out", "", "output trace (gzip binary format)")
 	seed := fs.Uint64("seed", 42, "synthesis seed")
+	workers := fs.Int("j", 1, "chunk-refill workers (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS, 1 = serial); any value gives identical output")
+	batch := fs.Int("batch", 0, "per-leaf pre-generation chunk size (0 = default); any value gives identical output")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("synth: need -in and -out"))
@@ -160,7 +163,11 @@ func cmdSynth(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	t := core.SynthesizeTrace(p, *seed)
+	j := *workers
+	if j <= 0 {
+		j = par.Default()
+	}
+	t := core.SynthesizeTrace(p, *seed, core.SynthWorkers(j), core.SynthBatch(*batch))
 	o, err := os.Create(*out)
 	if err != nil {
 		fatal(err)

@@ -53,19 +53,41 @@ func Build(name string, t trace.Trace, cfg Config, opts ...BuildOption) (*profil
 	return profile.Build(name, t, cfg, opts...)
 }
 
+// SynthOption configures synthesis; see SynthWorkers and SynthBatch.
+type SynthOption = synth.Option
+
+// SynthWorkers sets the number of background chunk-refill workers used
+// during synthesis; <= 1 generates on the consuming goroutine. Any
+// worker count produces a bit-identical stream.
+func SynthWorkers(n int) SynthOption { return synth.Workers(n) }
+
+// SynthBatch sets the per-leaf pre-generation chunk size (<= 0 selects
+// synth.DefaultBatch). Any batch size produces a bit-identical stream.
+func SynthBatch(n int) SynthOption { return synth.Batch(n) }
+
 // Synthesize returns a live request source that regenerates the
 // workload's behaviour from the profile. The source implements
 // trace.Source, including backpressure feedback via Delay, so it can be
 // coupled tightly to a simulator (Option B in Fig. 1).
-func Synthesize(p *profile.Profile, seed uint64) trace.Source {
-	return synth.New(p, seed)
+func Synthesize(p *profile.Profile, seed uint64, opts ...SynthOption) trace.Source {
+	return synth.New(p, seed, opts...)
 }
 
 // SynthesizeTrace drains a full synthetic trace from the profile
 // (Option A in Fig. 1: generate a synthetic trace file up front). The
-// result is sorted by time.
-func SynthesizeTrace(p *profile.Profile, seed uint64) trace.Trace {
-	return trace.Collect(synth.New(p, seed), 0)
+// result is sorted by time. The output length is known up front — every
+// leaf emits exactly its Count requests — so the trace is allocated
+// once instead of grown.
+func SynthesizeTrace(p *profile.Profile, seed uint64, opts ...SynthOption) trace.Trace {
+	src := synth.New(p, seed, opts...)
+	t := make(trace.Trace, 0, p.Requests())
+	for {
+		req, ok := src.Next()
+		if !ok {
+			return t
+		}
+		t = append(t, req)
+	}
 }
 
 // Clone rebuilds a trace end-to-end: Build followed by SynthesizeTrace.

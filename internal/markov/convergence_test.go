@@ -1,0 +1,112 @@
+package markov
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// checkStrictConvergence fits seq, generates exactly len(seq) values and
+// reports whether the multiset of generated values equals the multiset of
+// training values — the strict-convergence guarantee of §III-C.
+func checkStrictConvergence(t *testing.T, seq []int64, seed uint64) bool {
+	t.Helper()
+	m := Fit(seq)
+	g := NewGenerator(&m, stats.NewRNG(seed))
+	got := make(map[int64]int, len(seq))
+	for i := 0; i < len(seq); i++ {
+		got[g.Next()]++
+	}
+	return equalCounts(got, multiset(seq))
+}
+
+// TestStrictConvergenceProperty: for randomized sequences of varying
+// alphabet size and length, generating exactly the training length from
+// Fit(seq) reproduces the exact multiset of values of seq.
+func TestStrictConvergenceProperty(t *testing.T) {
+	check := func(raw []int16, alphabet uint8, seed uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := int64(alphabet%50) + 2
+		seq := make([]int64, len(raw))
+		for i, v := range raw {
+			seq[i] = int64(v) % a
+		}
+		return checkStrictConvergence(t, seq, seed)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStrictConvergenceLargeAlphabet forces the Fenwick value-redirect
+// path (>= fenwickMin distinct values) under heavy redirection pressure.
+func TestStrictConvergenceLargeAlphabet(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + rng.Intn(2000)
+		seq := randomSeq(rng, n, 20+rng.Intn(300))
+		if !checkStrictConvergence(t, seq, rng.Uint64()) {
+			t.Fatalf("trial %d: generated multiset diverged from training multiset", trial)
+		}
+	}
+}
+
+// FuzzStrictConvergence fuzzes the same property over arbitrary byte
+// strings interpreted as value sequences.
+func FuzzStrictConvergence(f *testing.F) {
+	f.Add([]byte{1, 2, 1, 2, 9}, uint64(5))
+	f.Add([]byte{0}, uint64(0))
+	f.Add([]byte{7, 7, 7, 7}, uint64(3))
+	f.Add([]byte("mocktails strict convergence"), uint64(42))
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64) {
+		if len(raw) == 0 || len(raw) > 4096 {
+			t.Skip()
+		}
+		seq := make([]int64, len(raw))
+		for i, b := range raw {
+			seq[i] = int64(b)
+		}
+		if !checkStrictConvergence(t, seq, seed) {
+			t.Fatalf("strict convergence violated for seq=%v seed=%d", seq, seed)
+		}
+	})
+}
+
+// TestStepZeroCountRowFallsBackSafely pins the defensive guard for rows
+// whose edges all carry zero counts: Fit never produces one, but a
+// hand-built or deserialised model can, and the old fallback divided by
+// a zero total. Generation must continue deterministically, not panic.
+func TestStepZeroCountRowFallsBackSafely(t *testing.T) {
+	m := Model{
+		Initial: 1,
+		Rows: []Row{
+			{From: 1, Edges: []Edge{{To: 2, N: 0}, {To: 3, N: 0}}},
+			{From: 2, Edges: []Edge{{To: 1, N: 1}}},
+		},
+	}
+	g := NewGenerator(&m, stats.NewRNG(4))
+	for i := 0; i < 50; i++ {
+		v := g.Next()
+		if v != 1 && v != 2 && v != 3 {
+			t.Fatalf("draw %d produced untrained value %d", i, v)
+		}
+	}
+}
+
+// TestStepZeroCountEdgelessRow covers the same guard when the row has no
+// edges at all.
+func TestStepZeroCountEdgelessRow(t *testing.T) {
+	m := Model{
+		Initial: 5,
+		Rows:    []Row{{From: 5, Edges: nil}},
+	}
+	g := NewGenerator(&m, stats.NewRNG(8))
+	for i := 0; i < 20; i++ {
+		if v := g.Next(); v != 5 {
+			t.Fatalf("edgeless model produced %d, want initial 5", v)
+		}
+	}
+}

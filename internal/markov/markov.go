@@ -11,6 +11,7 @@ package markov
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/stats"
@@ -118,6 +119,19 @@ func (m *Model) rowIndex(from int64) int {
 	return -1
 }
 
+// fenwickMin is the distribution size above which the sampling kernels
+// switch from a cached-total linear scan to a Fenwick-tree (mutable
+// counts) or prefix-sum (static counts) binary search. Small
+// distributions stay linear: the scan fits in a cache line and beats the
+// tree's pointer arithmetic. It doubles as the state-count cutoff below
+// which row and value lookups use binary search over the sorted model
+// instead of building per-generator hash maps — interval-partitioned
+// profiles create tens of thousands of tiny generators per synthesis,
+// and map construction would dominate their setup cost. Either path
+// selects the same element for the same RNG draw, so the cutoff never
+// changes generated streams.
+const fenwickMin = 16
+
 // Generator produces a value sequence from a Model under strict
 // convergence: per-transition counts steer the ordering, and per-value
 // remaining counts guarantee that generating exactly the training length
@@ -125,57 +139,224 @@ func (m *Model) rowIndex(from int64) int {
 // on ("strict convergence ensures that only two 128 sizes and ten 64
 // sizes are generated"). A Generator is single-use; create a fresh one
 // per synthesis run.
+//
+// Sampling is O(1) amortised per draw for small rows and O(log n) for
+// large ones: row totals are cached and decremented instead of re-summed,
+// mutable strict-convergence counts live in Fenwick trees, and the static
+// fallback distribution is drawn via binary search over prefix sums
+// precomputed at NewGenerator time.
 type Generator struct {
-	m         *Model
-	rng       *stats.RNG
-	state     int64
-	started   bool
-	remaining [][]uint32 // per-row remaining edge counts
+	m *Model
+	// rng is held by value: a Generator owns its RNG stream outright
+	// (every caller hands it a dedicated fork), and a self-contained
+	// struct lets short-lived generators live on the stack.
+	rng     stats.RNG
+	state   int64
+	started bool
+
+	// rowIdx maps a state value to its row index; it is nil for models
+	// with < fenwickMin states, which look rows up by binary search over
+	// the sorted transition table instead. initRow caches the initial
+	// state's row (-1 when the initial value never occurs as a source).
+	rowIdx  map[int64]int
+	initRow int
+
+	// Strict-convergence transition counts, flattened edge-major: row
+	// i's remaining counts are rem[rowOff[i]:rowOff[i+1]]. rowTotal
+	// caches the sum of each row's remaining counts. rowOff, rem and
+	// valueRem share one backing allocation. Rows with >= fenwickMin
+	// edges additionally keep their mutable counts in rowFen; both
+	// rowFen and fallCum are nil when no row is that large.
+	rem      []uint32
+	rowOff   []uint32
+	rowFen   []*stats.Fenwick
+	rowTotal []uint64
+
+	// Static fallback distribution, used once a row's remaining counts
+	// are exhausted. fallTotal holds each row's training total; rows >=
+	// fenwickMin additionally carry inclusive prefix sums in fallCum
+	// (nil when no row is that large).
+	fallCum   [][]uint64
+	fallTotal []uint64
 
 	// Value-level strict convergence: the sorted training values and how
-	// many emissions of each remain.
+	// many emissions of each remain. valueIdx is nil for < fenwickMin
+	// values (binary search over the sorted values instead).
 	values   []int64
+	valueIdx map[int64]int
 	valueRem []uint32
+	valueFen *stats.Fenwick
 	remTotal uint64
 }
 
-// NewGenerator returns a generator for m drawing from rng.
+// NewGenerator returns a generator for m seeded with rng's current
+// state; the generator draws from its own copy of rng (see Init).
 func NewGenerator(m *Model, rng *stats.RNG) *Generator {
-	g := &Generator{m: m, rng: rng}
-	if !m.Constant {
-		g.remaining = make([][]uint32, len(m.Rows))
-		for i, r := range m.Rows {
-			rem := make([]uint32, len(r.Edges))
-			for j, e := range r.Edges {
-				rem[j] = e.N
-			}
-			g.remaining[i] = rem
-		}
-		g.initValueCounts()
-	}
+	g := new(Generator)
+	g.Init(m, rng)
 	return g
 }
 
-// initValueCounts derives, from the transition table, how many times each
-// value appears in the training sequence: its in-degree plus one for the
-// initial value.
-func (g *Generator) initValueCounts() {
-	counts := make(map[int64]uint32)
-	for _, r := range g.m.Rows {
-		for _, e := range r.Edges {
-			counts[e.To] += e.N
+// Init prepares g to generate from m, copying rng's state as its private
+// draw stream, replacing any previous state. It exists so callers that
+// create many short-lived generators (one per leaf feature per
+// synthesis) can keep them as values instead of heap-allocating each
+// one. The caller's rng is not advanced by later draws; hand each
+// generator a dedicated fork.
+func (g *Generator) Init(m *Model, rng *stats.RNG) {
+	*g = Generator{m: m, rng: *rng}
+	if m.Constant {
+		return
+	}
+	n := len(m.Rows)
+	edges, maxRow := 0, 0
+	for i := range m.Rows {
+		e := len(m.Rows[i].Edges)
+		edges += e
+		if e > maxRow {
+			maxRow = e
 		}
 	}
-	counts[g.m.Initial]++
-	g.values = make([]int64, 0, len(counts))
-	for v := range counts {
-		g.values = append(g.values, v)
+	totals := make([]uint64, 2*n)
+	g.rowTotal, g.fallTotal = totals[:n:n], totals[n:]
+	if n >= fenwickMin {
+		g.rowIdx = make(map[int64]int, n)
 	}
-	sort.Slice(g.values, func(i, j int) bool { return g.values[i] < g.values[j] })
-	g.valueRem = make([]uint32, len(g.values))
-	for i, v := range g.values {
-		g.valueRem[i] = counts[v]
-		g.remTotal += uint64(counts[v])
+	if maxRow >= fenwickMin {
+		g.rowFen = make([]*stats.Fenwick, n)
+		g.fallCum = make([][]uint64, n)
+	}
+
+	// Derive the value multiset (each value's in-degree, plus one for
+	// the initial value) by sorting and coalescing the edge list — no
+	// hash map on this path either.
+	pairs := make([]Edge, 0, edges+1)
+	for i := range m.Rows {
+		pairs = append(pairs, m.Rows[i].Edges...)
+	}
+	pairs = append(pairs, Edge{To: m.Initial, N: 1})
+	sortEdgesByTo(pairs)
+	k := 0
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].To == pairs[k].To {
+			pairs[k].N += pairs[i].N
+		} else {
+			k++
+			pairs[k] = pairs[i]
+		}
+	}
+	pairs = pairs[:k+1]
+
+	// One shared uint32 buffer holds the row offsets, the transition
+	// remaining counts, and the value remaining counts, keeping setup at
+	// a handful of allocations per generator.
+	buf := make([]uint32, (n+1)+edges+len(pairs))
+	g.rowOff = buf[: n+1 : n+1]
+	g.rem = buf[n+1 : n+1+edges : n+1+edges]
+	g.valueRem = buf[n+1+edges:]
+
+	off := 0
+	for i := range m.Rows {
+		r := &m.Rows[i]
+		if g.rowIdx != nil {
+			g.rowIdx[r.From] = i
+		}
+		g.rowOff[i] = uint32(off)
+		var total uint64
+		for j := range r.Edges {
+			g.rem[off+j] = r.Edges[j].N
+			total += uint64(r.Edges[j].N)
+		}
+		g.rowTotal[i] = total
+		g.fallTotal[i] = total
+		if len(r.Edges) >= fenwickMin {
+			row := g.rem[off : off+len(r.Edges)]
+			cum := make([]uint64, len(r.Edges))
+			var s uint64
+			for j, w := range row {
+				s += uint64(w)
+				cum[j] = s
+			}
+			g.rowFen[i] = stats.NewFenwick(row)
+			g.fallCum[i] = cum
+		}
+		off += len(r.Edges)
+	}
+	g.rowOff[n] = uint32(off)
+	g.initRow = g.rowIndexOf(m.Initial)
+
+	g.values = make([]int64, len(pairs))
+	for i, p := range pairs {
+		g.values[i] = p.To
+		g.valueRem[i] = p.N
+		g.remTotal += uint64(p.N)
+	}
+	if len(g.values) >= fenwickMin {
+		g.valueIdx = make(map[int64]int, len(g.values))
+		for i, v := range g.values {
+			g.valueIdx[v] = i
+		}
+		g.valueFen = stats.NewFenwick(g.valueRem)
+	}
+}
+
+// sortEdgesByTo sorts edges by To: insertion sort for the short lists
+// typical of interval-partitioned leaves, a reflection-free generic sort
+// above that. Equal keys are coalesced by the caller, so stability is
+// irrelevant.
+func sortEdgesByTo(edges []Edge) {
+	if len(edges) <= 24 {
+		for i := 1; i < len(edges); i++ {
+			for j := i; j > 0 && edges[j].To < edges[j-1].To; j-- {
+				edges[j], edges[j-1] = edges[j-1], edges[j]
+			}
+		}
+		return
+	}
+	slices.SortFunc(edges, func(a, b Edge) int {
+		switch {
+		case a.To < b.To:
+			return -1
+		case a.To > b.To:
+			return 1
+		}
+		return 0
+	})
+}
+
+// rowIndexOf returns the row index of state from, or -1: a map lookup
+// for large models, binary search over the sorted rows for small ones.
+func (g *Generator) rowIndexOf(from int64) int {
+	if g.rowIdx != nil {
+		if i, ok := g.rowIdx[from]; ok {
+			return i
+		}
+		return -1
+	}
+	return g.m.rowIndex(from)
+}
+
+// valueIndexOf returns the index of v in values, or -1.
+func (g *Generator) valueIndexOf(v int64) int {
+	if g.valueIdx != nil {
+		if i, ok := g.valueIdx[v]; ok {
+			return i
+		}
+		return -1
+	}
+	i := sort.Search(len(g.values), func(i int) bool { return g.values[i] >= v })
+	if i < len(g.values) && g.values[i] == v {
+		return i
+	}
+	return -1
+}
+
+// takeValue consumes one remaining emission of values[i].
+func (g *Generator) takeValue(i int) {
+	g.valueRem[i]--
+	g.remTotal--
+	if g.valueFen != nil {
+		g.valueFen.Dec(i)
 	}
 }
 
@@ -187,19 +368,21 @@ func (g *Generator) consumeValue(v int64) int64 {
 	if g.remTotal == 0 {
 		return v
 	}
-	i := sort.Search(len(g.values), func(i int) bool { return g.values[i] >= v })
-	if i < len(g.values) && g.values[i] == v && g.valueRem[i] > 0 {
-		g.valueRem[i]--
-		g.remTotal--
+	if i := g.valueIndexOf(v); i >= 0 && g.valueRem[i] > 0 {
+		g.takeValue(i)
 		return v
 	}
 	// Redirect: draw among the values that still need emitting, weighted
 	// by their remaining counts.
 	pick := g.rng.Uint64n(g.remTotal)
+	if g.valueFen != nil {
+		j := g.valueFen.Find(pick)
+		g.takeValue(j)
+		return g.values[j]
+	}
 	for j := range g.values {
 		if pick < uint64(g.valueRem[j]) {
-			g.valueRem[j]--
-			g.remTotal--
+			g.takeValue(j)
 			return g.values[j]
 		}
 		pick -= uint64(g.valueRem[j])
@@ -228,41 +411,58 @@ func (g *Generator) Next() int64 {
 // original training distribution, and if the state never appeared as a
 // source in training it restarts from the initial state's row.
 func (g *Generator) step(cur int64) int64 {
-	ri := g.m.rowIndex(cur)
+	ri := g.rowIndexOf(cur)
 	if ri < 0 {
 		// Terminal training state: restart from the initial state.
-		ri = g.m.rowIndex(g.m.Initial)
+		ri = g.initRow
 		if ri < 0 {
 			return g.m.Initial
 		}
 	}
-	row := g.m.Rows[ri]
-	rem := g.remaining[ri]
-	var total uint64
-	for _, n := range rem {
-		total += uint64(n)
-	}
-	if total > 0 {
+	edges := g.m.Rows[ri].Edges
+	if total := g.rowTotal[ri]; total > 0 {
 		pick := g.rng.Uint64n(total)
+		g.rowTotal[ri] = total - 1
+		if g.rowFen != nil {
+			if f := g.rowFen[ri]; f != nil {
+				j := f.Find(pick)
+				f.Dec(j)
+				return edges[j].To
+			}
+		}
+		rem := g.rem[g.rowOff[ri]:g.rowOff[ri+1]]
 		for j, n := range rem {
 			if pick < uint64(n) {
 				rem[j]--
-				return row.Edges[j].To
+				return edges[j].To
 			}
 			pick -= uint64(n)
 		}
 	}
 	// Row exhausted: fall back to the original distribution.
-	total = 0
-	for _, e := range row.Edges {
-		total += uint64(e.N)
+	total := g.fallTotal[ri]
+	if total == 0 {
+		// A row whose edges all carry zero counts (possible only in a
+		// hand-built or corrupted model — Fit never emits one) has no
+		// distribution to draw from; self-loop deterministically rather
+		// than divide by zero.
+		if len(edges) > 0 {
+			return edges[0].To
+		}
+		return g.m.Initial
 	}
 	pick := g.rng.Uint64n(total)
-	for _, e := range row.Edges {
+	if g.fallCum != nil {
+		if cum := g.fallCum[ri]; cum != nil {
+			j := sort.Search(len(cum), func(i int) bool { return cum[i] > pick })
+			return edges[j].To
+		}
+	}
+	for _, e := range edges {
 		if pick < uint64(e.N) {
 			return e.To
 		}
 		pick -= uint64(e.N)
 	}
-	return row.Edges[len(row.Edges)-1].To
+	return edges[len(edges)-1].To
 }

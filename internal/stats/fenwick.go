@@ -1,0 +1,76 @@
+package stats
+
+// Fenwick is a binary indexed tree over non-negative integer weights,
+// used by the Markov sampling kernels to draw from a mutable discrete
+// distribution in O(log n) instead of a linear scan. Find selects
+// exactly the element a left-to-right linear scan over the weights would
+// select for the same pick, so replacing a scan with a Fenwick draw
+// leaves generated streams bit-identical.
+type Fenwick struct {
+	// tree holds the classic 1-indexed partial sums; tree[0] is unused.
+	tree []uint64
+	// hibit is the largest power of two <= len(tree)-1, the starting
+	// probe width for Find's binary descent.
+	hibit int
+}
+
+// NewFenwick builds a tree over the given weights in O(n).
+func NewFenwick(weights []uint32) *Fenwick {
+	n := len(weights)
+	f := &Fenwick{tree: make([]uint64, n+1)}
+	for i, w := range weights {
+		j := i + 1
+		f.tree[j] += uint64(w)
+		if p := j + (j & -j); p <= n {
+			f.tree[p] += f.tree[j]
+		}
+	}
+	for f.hibit = 1; f.hibit<<1 <= n; f.hibit <<= 1 {
+	}
+	return f
+}
+
+// Len returns the number of weights.
+func (f *Fenwick) Len() int { return len(f.tree) - 1 }
+
+// Add adds delta to the weight at index i (0-based). The weight must not
+// go negative.
+func (f *Fenwick) Add(i int, delta uint64) {
+	for j := i + 1; j < len(f.tree); j += j & -j {
+		f.tree[j] += delta
+	}
+}
+
+// Dec decreases the weight at index i (0-based) by one.
+func (f *Fenwick) Dec(i int) {
+	for j := i + 1; j < len(f.tree); j += j & -j {
+		f.tree[j]--
+	}
+}
+
+// Prefix returns the sum of the first i weights (indices 0..i-1).
+func (f *Fenwick) Prefix(i int) uint64 {
+	var s uint64
+	for j := i; j > 0; j -= j & -j {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// Total returns the sum of all weights.
+func (f *Fenwick) Total() uint64 { return f.Prefix(f.Len()) }
+
+// Find returns the smallest index i whose cumulative weight
+// (weights[0]+...+weights[i]) exceeds pick: the element a weighted
+// linear scan would select. pick must be < Total(); zero-weight
+// elements are never selected.
+func (f *Fenwick) Find(pick uint64) int {
+	pos := 0
+	for b := f.hibit; b > 0; b >>= 1 {
+		if next := pos + b; next < len(f.tree) && f.tree[next] <= pick {
+			pos = next
+			pick -= f.tree[next]
+		}
+	}
+	return pos
+}

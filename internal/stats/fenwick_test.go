@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// linearFind is the scan the Fenwick tree replaces: the smallest index
+// whose cumulative weight exceeds pick.
+func linearFind(weights []uint32, pick uint64) int {
+	for i, w := range weights {
+		if pick < uint64(w) {
+			return i
+		}
+		pick -= uint64(w)
+	}
+	return len(weights)
+}
+
+func TestFenwickPrefixAndTotal(t *testing.T) {
+	ws := []uint32{3, 0, 5, 1, 0, 0, 7, 2}
+	f := NewFenwick(ws)
+	if f.Len() != len(ws) {
+		t.Fatalf("Len = %d, want %d", f.Len(), len(ws))
+	}
+	var cum uint64
+	for i, w := range ws {
+		if got := f.Prefix(i); got != cum {
+			t.Errorf("Prefix(%d) = %d, want %d", i, got, cum)
+		}
+		cum += uint64(w)
+	}
+	if f.Total() != cum {
+		t.Errorf("Total = %d, want %d", f.Total(), cum)
+	}
+}
+
+func TestFenwickFindMatchesLinearScan(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 16, 33, 100} {
+		rng := NewRNG(uint64(n))
+		ws := make([]uint32, n)
+		for i := range ws {
+			ws[i] = uint32(rng.Intn(5)) // include zeros
+		}
+		f := NewFenwick(ws)
+		total := f.Total()
+		for pick := uint64(0); pick < total; pick++ {
+			if got, want := f.Find(pick), linearFind(ws, pick); got != want {
+				t.Fatalf("n=%d: Find(%d) = %d, linear scan %d (weights %v)", n, pick, got, want, ws)
+			}
+		}
+	}
+}
+
+func TestFenwickDecTracksLinearScan(t *testing.T) {
+	rng := NewRNG(7)
+	ws := make([]uint32, 37)
+	for i := range ws {
+		ws[i] = uint32(1 + rng.Intn(4))
+	}
+	f := NewFenwick(ws)
+	total := f.Total()
+	// Repeatedly draw, decrement both representations, and compare until
+	// the distribution is fully consumed.
+	for ; total > 0; total-- {
+		pick := rng.Uint64n(total)
+		got, want := f.Find(pick), linearFind(ws, pick)
+		if got != want {
+			t.Fatalf("Find(%d) = %d, linear scan %d", pick, got, want)
+		}
+		f.Dec(got)
+		ws[got]--
+	}
+	if f.Total() != 0 {
+		t.Errorf("Total = %d after full consumption", f.Total())
+	}
+}
+
+func TestFenwickAdd(t *testing.T) {
+	f := NewFenwick(make([]uint32, 10))
+	f.Add(3, 5)
+	f.Add(9, 2)
+	if f.Total() != 7 {
+		t.Errorf("Total = %d, want 7", f.Total())
+	}
+	if got := f.Find(4); got != 3 {
+		t.Errorf("Find(4) = %d, want 3", got)
+	}
+	if got := f.Find(5); got != 9 {
+		t.Errorf("Find(5) = %d, want 9", got)
+	}
+}
+
+func TestFenwickFindProperty(t *testing.T) {
+	check := func(raw []uint8, pickSeed uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ws := make([]uint32, len(raw))
+		var total uint64
+		for i, v := range raw {
+			ws[i] = uint32(v % 8)
+			total += uint64(ws[i])
+		}
+		if total == 0 {
+			return true
+		}
+		f := NewFenwick(ws)
+		pick := pickSeed % total
+		return f.Find(pick) == linearFind(ws, pick)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

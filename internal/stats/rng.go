@@ -15,18 +15,24 @@ type RNG struct {
 // splitmix64, which guarantees a well-mixed non-zero state for any seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r to the state NewRNG(seed) would produce, without
+// allocating. It lets callers that fork many short-lived sub-generators
+// (one per leaf per synthesis) keep them as values: recording
+// parent.Uint64() and Reseed-ing a value RNG with it is identical to
+// parent.Fork().
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
-	next := func() uint64 {
+	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
+		r.s[i] = z ^ (z >> 31)
 	}
-	for i := range r.s {
-		r.s[i] = next()
-	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

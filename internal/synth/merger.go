@@ -1,8 +1,6 @@
 package synth
 
 import (
-	"container/heap"
-
 	"repro/internal/trace"
 )
 
@@ -10,16 +8,132 @@ import (
 // that has been generated but not yet emitted, and Advance generates the
 // next one, returning false when the partition is exhausted. Both the
 // Mocktails and the STM baseline leaf generators implement Gen, sharing
-// the same priority-queue injection process (Fig. 5).
+// the same tournament-merge injection process (Fig. 5).
 type Gen interface {
 	Pending() trace.Request
 	Advance() bool
 }
 
+// loserTree is a tournament tree merging k players keyed by (exhausted,
+// pending time, player index). It replaces the former container/heap
+// merger: selecting the winner is a single cached read, and replaying a
+// changed key costs exactly ceil(log2 k) comparisons on flat int/uint64
+// slices, with no interface boxing and no Pending() virtual calls inside
+// the comparator. The comparison key is the lexicographic (time, index)
+// pair the heap used, so the emission order is bit-identical.
+type loserTree struct {
+	// times holds each live player's pending timestamp; done marks
+	// exhausted players, which lose to every live one. An exhausted
+	// player's time is pinned to MaxUint64 (see eliminate) so the common
+	// path of beats is a single key comparison; done breaks the rare
+	// exact tie against a live MaxUint64 timestamp.
+	times []uint64
+	done  []bool
+	// tree[n] is the loser of the match at internal node n (tree[0] is
+	// unused); leafBase is the power-of-two leaf count, with players
+	// k..leafBase-1 being permanent byes (index -1).
+	tree     []int
+	leafBase int
+	// winner is the overall champion: the live player with the smallest
+	// (time, index) key, or -1 when there are no players at all.
+	winner int
+}
+
+func newLoserTree(times []uint64, done []bool) *loserTree {
+	t := &loserTree{times: times, done: done}
+	for i, d := range done {
+		if d {
+			t.times[i] = doneKey
+		}
+	}
+	t.build()
+	return t
+}
+
+// doneKey is the sentinel timestamp of an exhausted player.
+const doneKey = ^uint64(0)
+
+// eliminate marks player l exhausted. The caller must follow with
+// replay(l) to restore the tournament.
+func (t *loserTree) eliminate(l int) {
+	t.done[l] = true
+	t.times[l] = doneKey
+}
+
+// beats reports whether player a wins (sorts before) player b. Byes (-1)
+// and exhausted players lose to everything live; ties on time go to the
+// lower index, preserving the insertion-order tie-break. Exhausted
+// players carry the doneKey sentinel time, so only an exact tie — two
+// exhausted players, or a live timestamp equal to doneKey — has to look
+// past the key comparison.
+func (t *loserTree) beats(a, b int) bool {
+	if a < 0 {
+		return false
+	}
+	if b < 0 {
+		return true
+	}
+	if ta, tb := t.times[a], t.times[b]; ta != tb {
+		return ta < tb
+	}
+	if t.done[a] {
+		return false
+	}
+	if t.done[b] {
+		return true
+	}
+	return a < b
+}
+
+// build runs the initial tournament in O(k).
+func (t *loserTree) build() {
+	k := len(t.times)
+	if k == 0 {
+		t.winner = -1
+		return
+	}
+	lb := 1
+	for lb < k {
+		lb <<= 1
+	}
+	t.leafBase = lb
+	t.tree = make([]int, lb)
+	win := make([]int, 2*lb)
+	for i := 0; i < lb; i++ {
+		if i < k {
+			win[lb+i] = i
+		} else {
+			win[lb+i] = -1
+		}
+	}
+	for n := lb - 1; n >= 1; n-- {
+		a, b := win[2*n], win[2*n+1]
+		if t.beats(a, b) {
+			win[n], t.tree[n] = a, b
+		} else {
+			win[n], t.tree[n] = b, a
+		}
+	}
+	t.winner = win[1]
+}
+
+// replay re-runs the matches on the path from leaf l to the root after
+// l's key changed (it advanced or exhausted), updating the champion.
+func (t *loserTree) replay(l int) {
+	w := l
+	for n := (t.leafBase + l) >> 1; n >= 1; n >>= 1 {
+		if t.beats(t.tree[n], w) {
+			w, t.tree[n] = t.tree[n], w
+		}
+	}
+	t.winner = w
+}
+
 // Merger merges the partial orders of many generators into a total order
 // by timestamp, implementing trace.Source including backpressure delay.
 type Merger struct {
-	pq    mergeHeap
+	lt    *loserTree
+	gens  []Gen
 	shift uint64
 }
 
@@ -27,56 +141,36 @@ type Merger struct {
 // skipped.
 func NewMerger(gens []Gen) *Merger {
 	m := &Merger{}
-	m.pq = make(mergeHeap, 0, len(gens))
-	for i, g := range gens {
+	for _, g := range gens {
 		if g != nil {
-			m.pq = append(m.pq, mergeEntry{g: g, order: i})
+			m.gens = append(m.gens, g)
 		}
 	}
-	heap.Init(&m.pq)
+	times := make([]uint64, len(m.gens))
+	for i, g := range m.gens {
+		times[i] = g.Pending().Time
+	}
+	m.lt = newLoserTree(times, make([]bool, len(m.gens)))
 	return m
 }
 
 // Next returns the globally next request.
 func (m *Merger) Next() (trace.Request, bool) {
-	if len(m.pq) == 0 {
+	w := m.lt.winner
+	if w < 0 || m.lt.done[w] {
 		return trace.Request{}, false
 	}
-	e := &m.pq[0]
-	req := e.g.Pending()
+	g := m.gens[w]
+	req := g.Pending()
 	req.Time += m.shift
-	if e.g.Advance() {
-		heap.Fix(&m.pq, 0)
+	if g.Advance() {
+		m.lt.times[w] = g.Pending().Time
 	} else {
-		heap.Pop(&m.pq)
+		m.lt.eliminate(w)
 	}
+	m.lt.replay(w)
 	return req, true
 }
 
 // Delay adds backpressure delay to all not-yet-emitted requests.
 func (m *Merger) Delay(cycles uint64) { m.shift += cycles }
-
-type mergeEntry struct {
-	g     Gen
-	order int
-}
-
-type mergeHeap []mergeEntry
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	ti, tj := h[i].g.Pending().Time, h[j].g.Pending().Time
-	if ti != tj {
-		return ti < tj
-	}
-	return h[i].order < h[j].order
-}
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeEntry)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}

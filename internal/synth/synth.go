@@ -8,54 +8,156 @@ package synth
 
 import (
 	"repro/internal/markov"
+	"repro/internal/par"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
+// DefaultBatch is the default number of requests each leaf pre-generates
+// per chunk in batched synthesis. Large enough to amortise the per-chunk
+// bookkeeping and give the parallel refill workers meaningful units of
+// work, small enough that per-leaf buffering stays a few KiB.
+const DefaultBatch = 256
+
+// Option configures a Synthesizer.
+type Option func(*config)
+
+type config struct {
+	workers int
+	batch   int
+}
+
+// Workers sets the number of background chunk-refill workers. Values
+// <= 1 generate synchronously on the consuming goroutine; any value
+// produces a bit-identical stream, because every leaf draws from its own
+// forked RNG and the merge consumes committed chunks in a deterministic
+// order.
+func Workers(n int) Option { return func(c *config) { c.workers = n } }
+
+// Batch sets the per-leaf chunk size (<= 0 selects DefaultBatch). Any
+// batch size produces a bit-identical stream.
+func Batch(n int) Option { return func(c *config) { c.batch = n } }
+
 // Synthesizer generates a request stream from a profile. It implements
 // trace.Source, so it can drive the simulators exactly like a trace
-// replayer. A Synthesizer is single-use.
+// replayer. A Synthesizer is single-use; a parallel one (Workers > 1)
+// that is abandoned before exhaustion should be released with Close.
 type Synthesizer struct {
-	*Merger
+	m *batchMerger
 }
 
 // New returns a Synthesizer for the profile, seeded deterministically:
-// the same profile and seed always produce the same stream.
-func New(p *profile.Profile, seed uint64) *Synthesizer {
+// the same profile and seed always produce the same stream, for any
+// Workers and Batch options.
+func New(p *profile.Profile, seed uint64, opts ...Option) *Synthesizer {
+	cfg := config{workers: 1, batch: DefaultBatch}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.batch <= 0 {
+		cfg.batch = DefaultBatch
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	// Fork seeds are drawn serially (the draw order is part of the
+	// deterministic stream), but everything downstream of a seed is
+	// leaf-local, so generator construction and the first chunk fill —
+	// the dominant cost for interval-partitioned profiles with tens of
+	// thousands of tiny leaves — fan out across the workers. par.Map
+	// commits by index, so the result is identical for any worker count.
 	rng := stats.NewRNG(seed)
-	gens := make([]Gen, 0, len(p.Leaves))
+	seeds := make([]uint64, len(p.Leaves))
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+	// All eager leaves (full output fits one batch) share one arena,
+	// carved into per-leaf regions: a single allocation instead of one
+	// per leaf, laid out in leaf (and therefore roughly time) order, so
+	// the merge walks memory nearly sequentially.
+	offs := make([]int, len(p.Leaves)+1)
+	off := 0
 	for i := range p.Leaves {
-		if g := newLeafGen(&p.Leaves[i], rng.Fork()); g != nil {
-			gens = append(gens, g)
+		offs[i] = off
+		if c := int(p.Leaves[i].Count); c > 0 && c <= cfg.batch {
+			off += c
 		}
 	}
-	return &Synthesizer{Merger: NewMerger(gens)}
+	offs[len(p.Leaves)] = off
+	arena := make([]trace.Request, off)
+	all := make([]leafStream, len(p.Leaves))
+	par.ForEach(len(p.Leaves), cfg.workers, func(i int) {
+		all[i].init(&p.Leaves[i], seeds[i], cfg.batch, arena[offs[i]:offs[i+1]])
+	})
+	streams := make([]*leafStream, 0, len(all))
+	for i := range all {
+		if p.Leaves[i].Count > 0 {
+			streams = append(streams, &all[i])
+		}
+	}
+	return &Synthesizer{m: newBatchMerger(streams, cfg)}
 }
+
+// Next returns the globally next request.
+func (s *Synthesizer) Next() (trace.Request, bool) { return s.m.Next() }
+
+// Delay adds backpressure delay to all not-yet-emitted requests.
+func (s *Synthesizer) Delay(cycles uint64) { s.m.Delay(cycles) }
+
+// Close releases the refill workers of a parallel Synthesizer that was
+// abandoned before exhaustion. It is a no-op for serial synthesizers and
+// for streams that were drained to completion, and is safe to call more
+// than once.
+func (s *Synthesizer) Close() { s.m.Close() }
 
 // leafGen lazily generates the requests of one leaf. pending always holds
-// the request that has been generated but not yet emitted.
+// the request that has been generated but not yet emitted. The feature
+// generators are self-contained values — a synthesis of an
+// interval-partitioned profile creates four per leaf, tens of thousands
+// in total, and heap-allocating each dominated setup cost. A leafGen for
+// a leaf that fits one batch never needs to outlive construction, so it
+// can live entirely on a worker's stack.
 type leafGen struct {
-	leaf    *profile.Leaf
-	dt      *markov.Generator
-	stride  *markov.Generator
-	op      *markov.Generator
-	size    *markov.Generator
-	emitted uint32
-	pending trace.Request
+	leaf      *profile.Leaf
+	dt        markov.Generator
+	stride    markov.Generator
+	op        markov.Generator
+	size      markov.Generator
+	emitted   uint32
+	pending   trace.Request
+	exhausted bool
 }
 
-func newLeafGen(l *profile.Leaf, rng *stats.RNG) *leafGen {
-	if l.Count == 0 {
+// newLeafGen returns a generator for the leaf, or nil for an empty leaf.
+// seed is the value the synthesis RNG drew for this leaf: reseeding with
+// it is identical to handing the leaf a Fork of the synthesis RNG.
+func newLeafGen(l *profile.Leaf, seed uint64) *leafGen {
+	g := &leafGen{}
+	if !g.init(l, seed) {
 		return nil
 	}
-	g := &leafGen{
-		leaf:   l,
-		dt:     markov.NewGenerator(&l.DeltaTime, rng.Fork()),
-		stride: markov.NewGenerator(&l.Stride, rng.Fork()),
-		op:     markov.NewGenerator(&l.Op, rng.Fork()),
-		size:   markov.NewGenerator(&l.Size, rng.Fork()),
+	return g
+}
+
+// init prepares g in place, returning false for an empty leaf. The four
+// feature RNG streams are reseeded in the same order the previous
+// implementation forked them, so every generated stream is unchanged.
+func (g *leafGen) init(l *profile.Leaf, seed uint64) bool {
+	if l.Count == 0 {
+		return false
 	}
+	g.leaf = l
+	var r, fork stats.RNG
+	r.Reseed(seed)
+	fork.Reseed(r.Uint64())
+	g.dt.Init(&l.DeltaTime, &fork)
+	fork.Reseed(r.Uint64())
+	g.stride.Init(&l.Stride, &fork)
+	fork.Reseed(r.Uint64())
+	g.op.Init(&l.Op, &fork)
+	fork.Reseed(r.Uint64())
+	g.size.Init(&l.Size, &fork)
 	g.pending = trace.Request{
 		Time: l.StartTime,
 		Addr: l.StartAddr,
@@ -63,7 +165,7 @@ func newLeafGen(l *profile.Leaf, rng *stats.RNG) *leafGen {
 		Size: SizeFromValue(g.size.Next()),
 	}
 	g.emitted = 1
-	return g
+	return true
 }
 
 // Pending returns the generated-but-unemitted request.
@@ -89,19 +191,62 @@ func (g *leafGen) Advance() bool {
 	return true
 }
 
+// fill copies up to len(buf) not-yet-emitted requests into buf and
+// returns how many it wrote, generating as it goes. A short (or zero)
+// count means the leaf is exhausted. Emitting through fill and through
+// Pending/Advance produce the same sequence; a leaf must use one or the
+// other, not both.
+func (g *leafGen) fill(buf []trace.Request) int {
+	if g.exhausted {
+		return 0
+	}
+	n := 0
+	for {
+		buf[n] = g.pending
+		n++
+		if !g.Advance() {
+			g.exhausted = true
+			break
+		}
+		if n == len(buf) {
+			break
+		}
+	}
+	return n
+}
+
 // WrapAddr folds an address back into the [lo, hi) region, preserving
 // spatial locality as described in §III-C ("we modulo the address back
-// into the range").
+// into the range"). addr is the signed result of adding a stride to a
+// previous in-region address; the span and the reduction are computed in
+// uint64 so regions anywhere in the 64-bit address space — including
+// ones straddling or above 1<<63, where the former int64 span
+// overflowed — wrap correctly.
 func WrapAddr(addr int64, lo, hi uint64) uint64 {
-	span := int64(hi) - int64(lo)
-	if span <= 0 {
+	if hi <= lo {
 		return lo
 	}
-	rel := (addr - int64(lo)) % span
-	if rel < 0 {
-		rel += span
+	span := hi - lo
+	ra := umod(addr, span)
+	rl := lo % span
+	if ra >= rl {
+		return lo + (ra - rl)
 	}
-	return uint64(int64(lo) + rel)
+	return lo + span - (rl - ra)
+}
+
+// umod returns the mathematical (always non-negative) a mod m for a
+// signed a and an unsigned m.
+func umod(a int64, m uint64) uint64 {
+	if a >= 0 {
+		return uint64(a) % m
+	}
+	// Negate via two's complement so MinInt64 is handled exactly.
+	r := (-uint64(a)) % m
+	if r == 0 {
+		return 0
+	}
+	return m - r
 }
 
 // OpFromValue converts a modelled feature value back to an operation.
