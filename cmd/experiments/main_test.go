@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("EXPERIMENTS_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runSelf(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "EXPERIMENTS_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("running %v: %v", args, err)
+	return "", -1
+}
+
+// TestList checks that -list prints every registered experiment id on
+// one line, which is what the README and CI scripts consume.
+func TestList(t *testing.T) {
+	out, code := runSelf(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d, output:\n%s", code, out)
+	}
+	ids := strings.Fields(strings.TrimSpace(out))
+	if len(ids) != len(experiments.IDs()) {
+		t.Fatalf("-list printed %d ids, registry has %d:\n%s", len(ids), len(experiments.IDs()), out)
+	}
+	listed := map[string]bool{}
+	for _, id := range ids {
+		listed[id] = true
+	}
+	for _, id := range experiments.IDs() {
+		if !listed[id] {
+			t.Errorf("-list missing id %q", id)
+		}
+	}
+}
+
+// TestUnknownID asserts that a bogus experiment id fails fast with the
+// documented exit status instead of silently running nothing. Running
+// real experiments is too expensive for a smoke test, so the unknown id
+// is the only id passed.
+func TestUnknownID(t *testing.T) {
+	out, code := runSelf(t, "no-such-experiment")
+	if code != 2 {
+		t.Fatalf("unknown id: exit %d, want 2; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "unknown id") {
+		t.Errorf("missing diagnostic, output:\n%s", out)
+	}
+}
+
+func TestUnknownIDSerial(t *testing.T) {
+	out, code := runSelf(t, "-j", "1", "no-such-experiment")
+	if code != 2 {
+		t.Fatalf("unknown id (serial): exit %d, want 2; output:\n%s", code, out)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	_, code := runSelf(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/conform"
+	"repro/internal/core"
+)
+
+// cmdCheck runs the whole pipeline — profile, synth, conform — over one
+// trace and gates on the result: it exits non-zero when any invariant
+// of the paper's conformance contract is violated or a statistical
+// distance exceeds its threshold. It is the regression gate future
+// refactors of the partitioner, the McC models, or the synthesis hot
+// path run against.
+func cmdCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	in := fs.String("in", "", "input trace (gzip binary format)")
+	interval := fs.Uint64("interval", 500000, "temporal partition length")
+	mode := fs.String("temporal", "cycles", "temporal scheme: cycles or requests")
+	spatial := fs.String("spatial", "dynamic", "spatial scheme: dynamic or a block size in bytes")
+	name := fs.String("name", "workload", "workload name stored in the profile")
+	seed := fs.Uint64("seed", 42, "synthesis seed")
+	workers := fs.Int("j", 0, "leaf-fitting workers (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS)")
+	def := conform.DefaultThresholds()
+	maxOp := fs.Float64("max-op", def.Op, "max L1 distance for the op distribution")
+	maxSize := fs.Float64("max-size", def.Size, "max L1 distance for the size distribution")
+	maxDt := fs.Float64("max-dt", def.DeltaTime, "max L1 distance for the merged delta-time distribution")
+	maxStride := fs.Float64("max-stride", def.Stride, "max L1 distance for the merged stride distribution")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("check: need -in"))
+	}
+	cfg, err := parseConfig(*mode, *interval, *spatial)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := readTrace(*in)
+	p, err := core.Build(*name, t, cfg, core.Workers(*workers))
+	if err != nil {
+		fatal(err)
+	}
+	syn := core.SynthesizeTrace(p, *seed)
+	fmt.Printf("checking %s: %d requests, %d leaves, seed %d\n", *name, len(t), len(p.Leaves), *seed)
+
+	th := conform.Thresholds{Op: *maxOp, Size: *maxSize, DeltaTime: *maxDt, Stride: *maxStride}
+	r := conform.Check(t, p, syn, cfg, *seed, th)
+	r.Fprint(os.Stdout)
+	if !r.Ok() {
+		os.Exit(1)
+	}
+}

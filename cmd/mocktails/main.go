@@ -11,6 +11,7 @@
 //	mocktails simulate -in workload.trace.gz
 //	mocktails analyze -in workload.trace.gz [-top 8]
 //	mocktails compare -ref original.trace.gz -in synthetic.trace.gz
+//	mocktails check   -in workload.trace.gz [-seed 42] [-max-dt 1.9] [-max-stride 1.9]
 package main
 
 import (
@@ -46,13 +47,15 @@ func main() {
 		cmdCompare(os.Args[2:])
 	case "inspect":
 		cmdInspect(os.Args[2:])
+	case "check":
+		cmdCheck(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|stats|simulate|analyze|compare|inspect} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|stats|simulate|analyze|compare|inspect|check} [flags]")
 	os.Exit(2)
 }
 
@@ -79,6 +82,30 @@ func cmdInspect(args []string) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mocktails:", err)
 	os.Exit(1)
+}
+
+// parseConfig turns the shared -temporal/-interval/-spatial flag values
+// into a partitioning configuration.
+func parseConfig(mode string, interval uint64, spatial string) (partition.Config, error) {
+	var layers []partition.Layer
+	switch mode {
+	case "cycles":
+		layers = append(layers, partition.Layer{Kind: partition.TemporalCycleCount, Param: interval})
+	case "requests":
+		layers = append(layers, partition.Layer{Kind: partition.TemporalRequestCount, Param: interval})
+	default:
+		return partition.Config{}, fmt.Errorf("unknown temporal scheme %q", mode)
+	}
+	if spatial == "dynamic" {
+		layers = append(layers, partition.Layer{Kind: partition.SpatialDynamic})
+	} else {
+		bs, err := strconv.ParseUint(spatial, 10, 64)
+		if err != nil {
+			return partition.Config{}, fmt.Errorf("bad -spatial %q: %w", spatial, err)
+		}
+		layers = append(layers, partition.Layer{Kind: partition.SpatialFixed, Param: bs})
+	}
+	return partition.Config{Layers: layers}, nil
 }
 
 func readTrace(path string) trace.Trace {
@@ -108,27 +135,13 @@ func cmdProfile(args []string) {
 		fatal(fmt.Errorf("profile: need -in and -out"))
 	}
 
-	var layers []partition.Layer
-	switch *mode {
-	case "cycles":
-		layers = append(layers, partition.Layer{Kind: partition.TemporalCycleCount, Param: *interval})
-	case "requests":
-		layers = append(layers, partition.Layer{Kind: partition.TemporalRequestCount, Param: *interval})
-	default:
-		fatal(fmt.Errorf("unknown temporal scheme %q", *mode))
-	}
-	if *spatial == "dynamic" {
-		layers = append(layers, partition.Layer{Kind: partition.SpatialDynamic})
-	} else {
-		bs, err := strconv.ParseUint(*spatial, 10, 64)
-		if err != nil {
-			fatal(fmt.Errorf("bad -spatial %q: %w", *spatial, err))
-		}
-		layers = append(layers, partition.Layer{Kind: partition.SpatialFixed, Param: bs})
+	cfg, err := parseConfig(*mode, *interval, *spatial)
+	if err != nil {
+		fatal(err)
 	}
 
 	t := readTrace(*in)
-	p, err := core.Build(*name, t, partition.Config{Layers: layers}, core.Workers(*workers))
+	p, err := core.Build(*name, t, cfg, core.Workers(*workers))
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// The smoke tests re-execute the test binary with MOCKTAILS_RUN_MAIN
+// set, which makes TestMain dispatch straight into main() — each
+// subcommand runs as a real process with real flag parsing and real
+// exit codes, on a tiny trace written to a temp dir.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("MOCKTAILS_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runSelf invokes the binary with the given arguments and returns its
+// combined output and exit code.
+func runSelf(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "MOCKTAILS_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("running %v: %v", args, err)
+	return "", -1
+}
+
+// tinyTrace writes a small deterministic trace and returns its path.
+func tinyTrace(t *testing.T, dir string) string {
+	t.Helper()
+	rng := stats.NewRNG(5)
+	tr := make(trace.Trace, 0, 400)
+	now, addr := uint64(100), uint64(1<<20)
+	for i := 0; i < 400; i++ {
+		now += uint64(rng.Range(1, 120))
+		addr += uint64(rng.Range(-2, 6) * 64)
+		op := trace.Read
+		if rng.Bool(0.25) {
+			op = trace.Write
+		}
+		tr = append(tr, trace.Request{Time: now, Addr: addr, Size: 64, Op: op})
+	}
+	path := filepath.Join(dir, "tiny.trace.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteGzip(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIPipeline(t *testing.T) {
+	dir := t.TempDir()
+	in := tinyTrace(t, dir)
+	prof := filepath.Join(dir, "tiny.profile.gz")
+	syn := filepath.Join(dir, "tiny.synth.trace.gz")
+
+	out, code := runSelf(t, "stats", "-in", in)
+	if code != 0 || !strings.Contains(out, "requests:  400") {
+		t.Fatalf("stats: exit %d, output:\n%s", code, out)
+	}
+
+	out, code = runSelf(t, "profile", "-in", in, "-out", prof, "-interval", "5000", "-name", "tiny")
+	if code != 0 || !strings.Contains(out, "Profile(tiny:") {
+		t.Fatalf("profile: exit %d, output:\n%s", code, out)
+	}
+	if _, err := os.Stat(prof); err != nil {
+		t.Fatalf("profile output missing: %v", err)
+	}
+
+	out, code = runSelf(t, "inspect", "-in", prof)
+	if code != 0 || !strings.Contains(out, "tiny") {
+		t.Fatalf("inspect: exit %d, output:\n%s", code, out)
+	}
+
+	out, code = runSelf(t, "synth", "-in", prof, "-out", syn, "-seed", "7")
+	if code != 0 || !strings.Contains(out, "synthesised 400 requests") {
+		t.Fatalf("synth: exit %d, output:\n%s", code, out)
+	}
+
+	out, code = runSelf(t, "simulate", "-in", syn)
+	if code != 0 || !strings.Contains(out, "requests:") {
+		t.Fatalf("simulate: exit %d, output:\n%s", code, out)
+	}
+
+	out, code = runSelf(t, "compare", "-ref", in, "-in", syn)
+	if code != 0 || !strings.Contains(out, "mean error") {
+		t.Fatalf("compare: exit %d, output:\n%s", code, out)
+	}
+
+	out, code = runSelf(t, "check", "-in", in, "-interval", "5000", "-name", "tiny", "-seed", "7")
+	if code != 0 || !strings.Contains(out, "conformance: PASS") {
+		t.Fatalf("check: exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestCLIAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	in := tinyTrace(t, dir)
+	out, code := runSelf(t, "analyze", "-in", in)
+	if code != 0 {
+		t.Fatalf("analyze: exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no subcommand", nil, 2},
+		{"unknown subcommand", []string{"bogus"}, 2},
+		{"stats without -in", []string{"stats"}, 1},
+		{"profile without -out", []string{"profile", "-in", "x.trace.gz"}, 1},
+		{"check without -in", []string{"check"}, 1},
+		{"check bad spatial", []string{"check", "-in", "x", "-spatial", "zz"}, 1},
+		{"missing input file", []string{"stats", "-in", "/nonexistent.trace.gz"}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, code := runSelf(t, c.args...)
+			if code != c.code {
+				t.Errorf("exit %d, want %d; output:\n%s", code, c.code, out)
+			}
+		})
+	}
+}
+
+func TestCLICheckFailsOnBadTrace(t *testing.T) {
+	// A trace file with corrupt contents must fail cleanly, not panic.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.trace.gz")
+	if err := os.WriteFile(bad, []byte("not a gzip stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runSelf(t, "check", "-in", bad)
+	if code != 1 {
+		t.Errorf("corrupt input: exit %d, want 1; output:\n%s", code, out)
+	}
+}

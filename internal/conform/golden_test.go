@@ -1,0 +1,195 @@
+package conform
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// The golden corpus freezes the exact bytes the pipeline produces for a
+// set of small deterministic traces: the trace encoding, the profile
+// built from it, and the trace synthesized back. Any byte drift in the
+// partitioner, the McC fitting, the codecs, or the synthesis hot path —
+// however it is refactored — fails TestGoldenCorpus. After an
+// *intentional* output change, refresh the manifest with:
+//
+//	go test ./internal/conform -run TestGoldenCorpus -update
+//
+// Hashes cover the uncompressed binary encodings (trace.WriteBinary,
+// profile.Write), which are fully deterministic; gzip framing is
+// excluded so stdlib compressor changes cannot cause false alarms.
+
+var update = flag.Bool("update", false, "rewrite the golden corpus manifest")
+
+const manifestPath = "testdata/golden/manifest.json"
+
+// goldenCase describes one corpus entry. The trace, config and seed are
+// reconstructed from these fields; only digests are stored on disk.
+type goldenCase struct {
+	Name     string `json:"name"`
+	Config   string `json:"config"`
+	Seed     uint64 `json:"seed"`
+	Requests int    `json:"requests"`
+	Leaves   int    `json:"leaves"`
+	TraceSHA string `json:"trace_sha256"`
+	ProfSHA  string `json:"profile_sha256"`
+	SynthSHA string `json:"synth_sha256"`
+}
+
+type manifest struct {
+	Cases []goldenCase `json:"cases"`
+}
+
+// goldenConfigs names the partition configurations the corpus uses.
+func goldenConfigs() map[string]partition.Config {
+	return map[string]partition.Config{
+		"2lts-500k":   partition.TwoLevelTS(500_000),
+		"2lts-100k":   partition.TwoLevelTS(100_000),
+		"req-256-dyn": partition.TwoLevelRequestCount(256, 0),
+		"req-512-4k":  partition.TwoLevelRequestCount(512, 4096),
+	}
+}
+
+// goldenTraces builds the corpus traces. Every entry is deterministic:
+// same Go code, same bytes.
+func goldenTraces() map[string]trace.Trace {
+	constant := make(trace.Trace, 0, 100)
+	for i := 0; i < 100; i++ {
+		constant = append(constant, trace.Request{
+			Time: 1000 + uint64(i)*10, Addr: 1 << 20, Size: 64, Op: trace.Read,
+		})
+	}
+	hevc := workloads.HEVC(16, 10)
+	if len(hevc) > 5000 {
+		hevc = hevc[:5000]
+	}
+	crypto := workloads.Crypto(1)
+	if len(crypto) > 4000 {
+		crypto = crypto[:4000]
+	}
+	return map[string]trace.Trace{
+		"uniform-tiny":    testTrace(1, 600),
+		"two-phase":       testTrace(9, 1500),
+		"constant-stream": constant,
+		"single-request":  {{Time: 5, Addr: 0x1000, Size: 64, Op: trace.Write}},
+		"hevc1-head":      hevc,
+		"crypto1-head":    crypto,
+	}
+}
+
+// goldenPlan fixes which (trace, config, seed) triples form the corpus.
+func goldenPlan() []goldenCase {
+	return []goldenCase{
+		{Name: "uniform-tiny", Config: "2lts-100k", Seed: 42},
+		{Name: "two-phase", Config: "req-256-dyn", Seed: 42},
+		{Name: "two-phase", Config: "req-512-4k", Seed: 7},
+		{Name: "constant-stream", Config: "2lts-500k", Seed: 42},
+		{Name: "single-request", Config: "2lts-500k", Seed: 42},
+		{Name: "hevc1-head", Config: "2lts-500k", Seed: 42},
+		{Name: "crypto1-head", Config: "2lts-100k", Seed: 11},
+	}
+}
+
+// digest hashes whatever write emits.
+func digest(t *testing.T, write func(io.Writer) error) string {
+	t.Helper()
+	h := sha256.New()
+	if err := write(h); err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// caseKey uniquely names a plan entry in the manifest.
+func caseKey(c goldenCase) string { return c.Name + "/" + c.Config }
+
+func TestGoldenCorpus(t *testing.T) {
+	traces := goldenTraces()
+	configs := goldenConfigs()
+
+	var got manifest
+	for _, plan := range goldenPlan() {
+		tr, ok := traces[plan.Name]
+		if !ok {
+			t.Fatalf("plan references unknown trace %q", plan.Name)
+		}
+		cfg, ok := configs[plan.Config]
+		if !ok {
+			t.Fatalf("plan references unknown config %q", plan.Config)
+		}
+		p, err := core.Build(plan.Name, tr, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", caseKey(plan), err)
+		}
+		syn := core.SynthesizeTrace(p, plan.Seed)
+
+		// The corpus is also an invariant gate: every frozen case must
+		// pass full conformance, not merely reproduce its bytes.
+		if r := Check(tr, p, syn, cfg, plan.Seed, DefaultThresholds()); !r.Ok() {
+			t.Errorf("%s: conformance violations: %v", caseKey(plan), r.Violations)
+		}
+
+		c := plan
+		c.Requests = len(tr)
+		c.Leaves = len(p.Leaves)
+		c.TraceSHA = digest(t, func(w io.Writer) error { return trace.WriteBinary(w, tr) })
+		c.ProfSHA = digest(t, func(w io.Writer) error { return profile.Write(w, p) })
+		c.SynthSHA = digest(t, func(w io.Writer) error { return trace.WriteBinary(w, syn) })
+		got.Cases = append(got.Cases, c)
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(manifestPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(manifestPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden manifest rewritten with %d cases", len(got.Cases))
+		return
+	}
+
+	data, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("reading golden manifest (run with -update to create it): %v", err)
+	}
+	var want manifest
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantByKey := make(map[string]goldenCase, len(want.Cases))
+	for _, c := range want.Cases {
+		wantByKey[caseKey(c)] = c
+	}
+	if len(want.Cases) != len(got.Cases) {
+		t.Errorf("manifest holds %d cases, plan has %d (run -update after changing the plan)",
+			len(want.Cases), len(got.Cases))
+	}
+	for _, g := range got.Cases {
+		w, ok := wantByKey[caseKey(g)]
+		if !ok {
+			t.Errorf("%s: missing from manifest (run -update)", caseKey(g))
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: pipeline output drifted from golden corpus:\n  want %+v\n  got  %+v\n"+
+				"if the change is intentional, refresh with: go test ./internal/conform -run TestGoldenCorpus -update",
+				caseKey(g), w, g)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package conform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+func TestLogBucket(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{1024, 11},
+		{-1, -1},
+		{-2, -2}, {-3, -2},
+		{-1024, -11},
+	}
+	for _, c := range cases {
+		if got := logBucket(c.v); got != c.want {
+			t.Errorf("logBucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFeatureDistancesSelf(t *testing.T) {
+	tr := testTrace(3, 500)
+	d := FeatureDistances(tr, tr)
+	if d != (Distances{}) {
+		t.Errorf("self distance non-zero: %+v", d)
+	}
+	if !d.Within(Thresholds{}) {
+		t.Error("zero distances not within zero thresholds")
+	}
+}
+
+func TestFeatureDistancesDisjoint(t *testing.T) {
+	a := trace.Trace{{Time: 0, Addr: 0, Size: 64, Op: trace.Read}}
+	b := trace.Trace{{Time: 0, Addr: 0, Size: 128, Op: trace.Write}}
+	d := FeatureDistances(a, b)
+	if d.Op != 2 || d.Size != 2 {
+		t.Errorf("disjoint single-request traces: op %v size %v, want 2/2", d.Op, d.Size)
+	}
+}
+
+func TestDistancesCheckRecordsViolations(t *testing.T) {
+	r := &Report{}
+	d := Distances{Op: 0.5, Size: 0, DeltaTime: 1.5, Stride: 0}
+	d.check(r, Thresholds{Op: 0.1, Size: 0.1, DeltaTime: 1.0, Stride: 0.1})
+	if len(r.Violations) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(r.Violations), r.Violations)
+	}
+	if !hasCheck(r, "stat/op") || !hasCheck(r, "stat/dt") {
+		t.Errorf("wrong checks flagged: %v", r.Violations)
+	}
+}
+
+func TestDistancesFprint(t *testing.T) {
+	var b strings.Builder
+	Distances{Op: 0.25}.Fprint(&b)
+	if !strings.Contains(b.String(), "op 0.2500") {
+		t.Errorf("Fprint output %q", b.String())
+	}
+}
+
+func TestDefaultThresholdsAcceptCleanRun(t *testing.T) {
+	orig, _, syn := buildTriple(t, partition.TwoLevelTS(200_000), 42)
+	d := FeatureDistances(orig, syn)
+	if !d.Within(DefaultThresholds()) {
+		t.Errorf("clean run outside default thresholds: %+v", d)
+	}
+}

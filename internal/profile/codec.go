@@ -85,6 +85,17 @@ func Write(w io.Writer, p *Profile) error {
 	return bw.Flush()
 }
 
+// capHint bounds an untrusted length prefix before it is used as an
+// allocation hint: a corrupt or hostile stream may claim any element
+// count, so preallocate at most a modest capacity and let append grow
+// as elements actually decode.
+func capHint(n uint64) uint64 {
+	if n > 1<<16 {
+		return 1 << 16
+	}
+	return n
+}
+
 // Read deserialises a profile written by Write.
 func Read(r io.Reader) (*Profile, error) {
 	br := bufio.NewReader(r)
@@ -135,7 +146,7 @@ func Read(r io.Reader) (*Profile, error) {
 			if err != nil {
 				return markov.Model{}, err
 			}
-			m := markov.Model{Initial: initial, Rows: make([]markov.Row, 0, nRows)}
+			m := markov.Model{Initial: initial, Rows: make([]markov.Row, 0, capHint(nRows))}
 			for i := uint64(0); i < nRows; i++ {
 				from, err := getVarint()
 				if err != nil {
@@ -145,7 +156,7 @@ func Read(r io.Reader) (*Profile, error) {
 				if err != nil {
 					return markov.Model{}, err
 				}
-				row := markov.Row{From: from, Edges: make([]markov.Edge, 0, nEdges)}
+				row := markov.Row{From: from, Edges: make([]markov.Edge, 0, capHint(nEdges))}
 				for j := uint64(0); j < nEdges; j++ {
 					to, err := getVarint()
 					if err != nil {
@@ -177,7 +188,7 @@ func Read(r io.Reader) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.Leaves = make([]Leaf, 0, nLeaves)
+	p.Leaves = make([]Leaf, 0, capHint(nLeaves))
 	for i := uint64(0); i < nLeaves; i++ {
 		var l Leaf
 		if l.StartTime, err = getUvarint(); err != nil {

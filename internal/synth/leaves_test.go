@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// leavesTestProfile builds a multi-leaf profile from a small
+// deterministic trace.
+func leavesTestProfile(t *testing.T) *profile.Profile {
+	t.Helper()
+	rng := stats.NewRNG(99)
+	tr := make(trace.Trace, 0, 2000)
+	now, addr := uint64(0), uint64(1<<20)
+	for i := 0; i < 2000; i++ {
+		now += uint64(rng.Range(1, 100))
+		addr += uint64(rng.Range(-2, 6) * 64)
+		op := trace.Read
+		if rng.Bool(0.3) {
+			op = trace.Write
+		}
+		tr = append(tr, trace.Request{Time: now, Addr: addr, Size: 64, Op: op})
+	}
+	p, err := profile.Build("leaves-test", tr, partition.TwoLevelTS(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLeafStreamsUnionEqualsMergedStream pins the contract of the
+// per-leaf view: concatenating every LeafStream yields exactly the
+// multiset of requests the merged Synthesizer emits.
+func TestLeafStreamsUnionEqualsMergedStream(t *testing.T) {
+	p := leavesTestProfile(t)
+	const seed = 1234
+	merged := trace.Collect(New(p, seed), 0)
+
+	counts := make(map[trace.Request]int, len(merged))
+	total := 0
+	for _, stream := range LeafStreams(p, seed) {
+		for _, r := range stream {
+			counts[r]++
+			total++
+		}
+	}
+	if total != len(merged) {
+		t.Fatalf("leaf streams hold %d requests, merged stream %d", total, len(merged))
+	}
+	for _, r := range merged {
+		counts[r]--
+		if counts[r] == 0 {
+			delete(counts, r)
+		}
+	}
+	if len(counts) != 0 {
+		t.Errorf("leaf-stream union and merged stream differ on %d request values", len(counts))
+	}
+}
+
+// TestLeafStreamCounts verifies each stream carries exactly Count
+// requests starting at the leaf's recorded bookkeeping.
+func TestLeafStreamCounts(t *testing.T) {
+	p := leavesTestProfile(t)
+	seeds := LeafSeeds(p, 5)
+	if len(seeds) != len(p.Leaves) {
+		t.Fatalf("got %d seeds for %d leaves", len(seeds), len(p.Leaves))
+	}
+	for i := range p.Leaves {
+		l := &p.Leaves[i]
+		s := LeafStream(l, seeds[i])
+		if len(s) != int(l.Count) {
+			t.Fatalf("leaf %d stream has %d requests, Count %d", i, len(s), l.Count)
+		}
+		if l.Count == 0 {
+			continue
+		}
+		if s[0].Time != l.StartTime || s[0].Addr != l.StartAddr {
+			t.Errorf("leaf %d starts at (t=%d, 0x%x), recorded (t=%d, 0x%x)",
+				i, s[0].Time, s[0].Addr, l.StartTime, l.StartAddr)
+		}
+	}
+}
+
+// TestFeaturesMatchStream re-assembles a leaf's requests from its raw
+// feature draws and compares with LeafStream: the two views of one
+// synthesis must agree once clamping and wrapping are applied.
+func TestFeaturesMatchStream(t *testing.T) {
+	p := leavesTestProfile(t)
+	seeds := LeafSeeds(p, 77)
+	for i := range p.Leaves {
+		l := &p.Leaves[i]
+		if l.Count == 0 {
+			continue
+		}
+		f := Features(l, seeds[i])
+		n := int(l.Count)
+		if len(f.Ops) != n || len(f.Sizes) != n || len(f.DeltaTimes) != n-1 || len(f.Strides) != n-1 {
+			t.Fatalf("leaf %d: feature lengths dt=%d stride=%d op=%d size=%d for Count %d",
+				i, len(f.DeltaTimes), len(f.Strides), len(f.Ops), len(f.Sizes), n)
+		}
+		stream := LeafStream(l, seeds[i])
+		tm, addr := l.StartTime, l.StartAddr
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				dt := f.DeltaTimes[j-1]
+				if dt < 0 {
+					dt = 0
+				}
+				tm += uint64(dt)
+				addr = WrapAddr(int64(addr)+f.Strides[j-1], l.Lo, l.Hi)
+			}
+			want := trace.Request{
+				Time: tm, Addr: addr,
+				Op:   OpFromValue(f.Ops[j]),
+				Size: SizeFromValue(f.Sizes[j]),
+			}
+			if stream[j] != want {
+				t.Fatalf("leaf %d request %d: stream %v, reassembled %v", i, j, stream[j], want)
+			}
+		}
+	}
+}
+
+// TestFeaturesEmptyLeaf: a zero-count leaf yields empty features.
+func TestFeaturesEmptyLeaf(t *testing.T) {
+	var l profile.Leaf
+	f := Features(&l, 1)
+	if len(f.DeltaTimes) != 0 || len(f.Strides) != 0 || len(f.Ops) != 0 || len(f.Sizes) != 0 {
+		t.Errorf("empty leaf produced features: %+v", f)
+	}
+	if s := LeafStream(&l, 1); s != nil {
+		t.Errorf("empty leaf produced stream of %d", len(s))
+	}
+}

@@ -62,7 +62,14 @@ func ReadBinary(r io.Reader) (Trace, error) {
 		return nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
 	n := binary.LittleEndian.Uint64(hdr[8:])
-	t := make(Trace, 0, n)
+	// The header's count is untrusted input: preallocate at most a
+	// modest hint and let append grow, so a corrupt or hostile header
+	// cannot demand an arbitrary allocation before any record is read.
+	hint := n
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	t := make(Trace, 0, hint)
 	var rec [recordSize]byte
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {

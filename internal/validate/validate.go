@@ -30,6 +30,12 @@ type Comparison struct {
 // reference: burst counts, row hits, queue lengths, per-channel
 // write-queue distributions (as L1 distances), reads per turnaround, and
 // average latency.
+//
+// When the two results were simulated with different channel counts the
+// comparison is between unlike memory systems: rather than silently
+// dropping the extra channels, a "channel count" metric records the
+// mismatch (and its percent error), and only the common channels are
+// compared individually.
 func Compare(ref, got dram.Result) Comparison {
 	var c Comparison
 	add := func(name string, r, g float64) {
@@ -46,8 +52,11 @@ func Compare(ref, got dram.Result) Comparison {
 	add("avg write queue", ref.AvgWriteQueueLen(), got.AvgWriteQueueLen())
 	add("avg latency", ref.AvgLatency, got.AvgLatency)
 	n := len(ref.Channels)
-	if len(got.Channels) < n {
-		n = len(got.Channels)
+	if len(got.Channels) != n {
+		add("channel count", float64(len(ref.Channels)), float64(len(got.Channels)))
+		if len(got.Channels) < n {
+			n = len(got.Channels)
+		}
 	}
 	for ch := 0; ch < n; ch++ {
 		add(fmt.Sprintf("ch%d reads/turnaround", ch),

@@ -85,6 +85,60 @@ func TestEmptyComparison(t *testing.T) {
 	}
 }
 
+func TestCompareChannelCountMismatch(t *testing.T) {
+	ref, _ := simPair(t)
+
+	metricNames := func(c Comparison) map[string]bool {
+		names := map[string]bool{}
+		for _, m := range c.Metrics {
+			names[m.Name] = true
+		}
+		return names
+	}
+
+	t.Run("candidate has fewer channels", func(t *testing.T) {
+		got := ref
+		got.Channels = got.Channels[:2]
+		c := Compare(ref, got)
+		names := metricNames(c)
+		if !names["channel count"] {
+			t.Fatal("missing channel count mismatch metric")
+		}
+		for _, m := range c.Metrics {
+			if m.Name == "channel count" {
+				if m.Reference != 4 || m.Measured != 2 || m.PercentErr == 0 {
+					t.Errorf("channel count metric = %+v", m)
+				}
+			}
+		}
+		if names["ch2 reads/turnaround"] || names["ch3 reads/turnaround"] {
+			t.Error("comparison includes channels the candidate does not have")
+		}
+		if c.MaxError() == 0 {
+			t.Error("channel mismatch not reflected in MaxError")
+		}
+	})
+
+	t.Run("candidate has extra channels", func(t *testing.T) {
+		got := ref
+		got.Channels = append(append([]dram.ChannelStats{}, ref.Channels...), ref.Channels[0])
+		c := Compare(ref, got)
+		names := metricNames(c)
+		if !names["channel count"] {
+			t.Fatal("missing channel count mismatch metric")
+		}
+		if !names["ch3 reads/turnaround"] {
+			t.Error("common channels no longer compared")
+		}
+	})
+
+	t.Run("equal channel counts add no metric", func(t *testing.T) {
+		if metricNames(Compare(ref, ref))["channel count"] {
+			t.Error("channel count metric reported for matching results")
+		}
+	})
+}
+
 func TestFprintFormat(t *testing.T) {
 	ref, got := simPair(t)
 	var sb strings.Builder

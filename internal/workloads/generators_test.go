@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The table-driven suite below exercises every generator function
+// directly (not just through the catalogue's fixed seeds): each must be
+// deterministic under a fixed seed, sensitive to the seed, and produce
+// a well-formed trace — sorted, non-empty, every request with a
+// non-zero power-of-two size and a valid op.
+
+type genCase struct {
+	name string
+	gen  func(seed uint64) trace.Trace
+}
+
+func generatorTable() []genCase {
+	return []genCase{
+		{"Crypto", Crypto},
+		{"CPUInteract-D", func(s uint64) trace.Trace { return CPUInteract(s, 'D') }},
+		{"CPUInteract-G", func(s uint64) trace.Trace { return CPUInteract(s, 'G') }},
+		{"CPUInteract-V", func(s uint64) trace.Trace { return CPUInteract(s, 'V') }},
+		{"FBC-linear", func(s uint64) trace.Trace { return FBC(s, false) }},
+		{"FBC-tiled", func(s uint64) trace.Trace { return FBC(s, true) }},
+		{"MultiLayer", MultiLayer},
+		{"GPUGraphics-lo", func(s uint64) trace.Trace { return GPUGraphics(s, 0.55) }},
+		{"GPUGraphics-hi", func(s uint64) trace.Trace { return GPUGraphics(s, 0.70) }},
+		{"OpenCL", OpenCL},
+		{"HEVC", func(s uint64) trace.Trace { return HEVC(s, 6) }},
+	}
+}
+
+func wellFormed(t *testing.T, name string, tr trace.Trace) {
+	t.Helper()
+	if len(tr) == 0 {
+		t.Fatalf("%s: empty trace", name)
+	}
+	if !tr.Sorted() {
+		t.Errorf("%s: not time-sorted", name)
+	}
+	for i, r := range tr {
+		if r.Size == 0 || r.Size&(r.Size-1) != 0 {
+			t.Errorf("%s: request %d has size %d, want non-zero power of two", name, i, r.Size)
+			return
+		}
+		if r.Op != trace.Read && r.Op != trace.Write {
+			t.Errorf("%s: request %d has invalid op %d", name, i, r.Op)
+			return
+		}
+		if r.End() < r.Addr {
+			t.Errorf("%s: request %d wraps the address space (addr 0x%x size %d)", name, i, r.Addr, r.Size)
+			return
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, c := range generatorTable() {
+		t.Run(c.name, func(t *testing.T) {
+			a, b := c.gen(99), c.gen(99)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("same seed produced different traces (%d vs %d requests)", len(a), len(b))
+			}
+		})
+	}
+}
+
+func TestGeneratorsSeedSensitive(t *testing.T) {
+	for _, c := range generatorTable() {
+		t.Run(c.name, func(t *testing.T) {
+			a, b := c.gen(1), c.gen(2)
+			if reflect.DeepEqual(a, b) {
+				t.Error("different seeds produced identical traces")
+			}
+		})
+	}
+}
+
+func TestGeneratorsWellFormed(t *testing.T) {
+	for _, c := range generatorTable() {
+		t.Run(c.name, func(t *testing.T) {
+			wellFormed(t, c.name, c.gen(7))
+		})
+	}
+}
+
+func TestCatalogTracesWellFormed(t *testing.T) {
+	for _, s := range Catalog() {
+		t.Run(s.Name, func(t *testing.T) {
+			wellFormed(t, s.Name, s.Gen())
+		})
+	}
+}
+
+func TestSPECTracesWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("23 SPEC proxies are slow in -short mode")
+	}
+	for _, n := range SPECNames() {
+		t.Run(n, func(t *testing.T) {
+			tr, err := SPECTrace(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wellFormed(t, n, tr)
+			a, _ := SPECTrace(n)
+			if !reflect.DeepEqual(tr, a) {
+				t.Error("SPEC proxy non-deterministic")
+			}
+		})
+	}
+}
