@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -43,12 +44,15 @@ func main() {
 	workers := flag.Int("j", 0, "concurrent experiments (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS, 1 = serial)")
 	synthWorkers := flag.Int("synth-j", 1, "chunk-refill workers per synthesis (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS, 1 = serial); any value gives identical tables")
 	benchJSON := flag.String("bench-json", "", "write per-experiment and synthesis {name, ns_per_op, allocs} rows to this file (forces serial runs)")
+	of := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), " "))
 		return
 	}
+	_, stop := of.Start("experiments")
+	defer stop()
 
 	ids := flag.Args()
 	if len(ids) == 0 {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/validate"
 )
@@ -15,11 +16,14 @@ func cmdAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	in := fs.String("in", "", "input trace (gzip binary format)")
 	top := fs.Int("top", 8, "number of top strides to print")
+	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
 	if *in == "" {
 		fatal(fmt.Errorf("analyze: need -in"))
 	}
-	t := readTrace(*in)
+	ctx, stop := of.Start("mocktails.analyze")
+	defer stop()
+	t := readTraceCtx(ctx, *in)
 	fmt.Println(analysis.Characterize(t))
 	if *top > 0 {
 		fmt.Println("top strides:")
@@ -34,12 +38,21 @@ func cmdCompare(args []string) {
 	ref := fs.String("ref", "", "reference trace (e.g. the original)")
 	in := fs.String("in", "", "candidate trace (e.g. a synthetic recreation)")
 	xbarLat := fs.Uint64("xbar", 20, "interconnect latency in cycles")
+	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
 	if *ref == "" || *in == "" {
 		fatal(fmt.Errorf("compare: need -ref and -in"))
 	}
+	ctx, stop := of.Start("mocktails.compare")
+	defer stop()
 	cfg := dram.Default()
+	_, asp := obs.Start(ctx, "simulate.ref")
 	a := dram.Run(trace.NewReplayer(readTrace(*ref)), cfg, *xbarLat)
+	asp.SetCount("requests", int64(a.Requests))
+	asp.End()
+	_, bsp := obs.Start(ctx, "simulate.in")
 	b := dram.Run(trace.NewReplayer(readTrace(*in)), cfg, *xbarLat)
+	bsp.SetCount("requests", int64(b.Requests))
+	bsp.End()
 	validate.Compare(a, b).Fprint(os.Stdout)
 }

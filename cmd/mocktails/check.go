@@ -4,9 +4,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/conform"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/profile"
 )
 
 // cmdCheck runs the whole pipeline — profile, synth, conform — over one
@@ -29,6 +32,7 @@ func cmdCheck(args []string) {
 	maxSize := fs.Float64("max-size", def.Size, "max L1 distance for the size distribution")
 	maxDt := fs.Float64("max-dt", def.DeltaTime, "max L1 distance for the merged delta-time distribution")
 	maxStride := fs.Float64("max-stride", def.Stride, "max L1 distance for the merged stride distribution")
+	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
 	if *in == "" {
 		fatal(fmt.Errorf("check: need -in"))
@@ -38,18 +42,73 @@ func cmdCheck(args []string) {
 		fatal(err)
 	}
 
-	t := readTrace(*in)
-	p, err := core.Build(*name, t, cfg, core.Workers(*workers))
+	ctx, stop := of.Start("mocktails.check")
+	t := readTraceCtx(ctx, *in)
+	pctx, psp := obs.Start(ctx, "profile")
+	p, err := core.Build(*name, t, cfg, core.Workers(*workers), core.BuildContext(pctx))
 	if err != nil {
 		fatal(err)
 	}
-	syn := core.SynthesizeTrace(p, *seed)
+	psp.SetCount("requests", int64(len(t)))
+	psp.SetCount("leaves", int64(len(p.Leaves)))
+	psp.End()
+	sctx, ssp := obs.Start(ctx, "synth")
+	syn := core.SynthesizeTrace(p, *seed, core.SynthContext(sctx))
+	ssp.SetCount("requests", int64(len(syn)))
+	ssp.End()
 	fmt.Printf("checking %s: %d requests, %d leaves, seed %d\n", *name, len(t), len(p.Leaves), *seed)
 
 	th := conform.Thresholds{Op: *maxOp, Size: *maxSize, DeltaTime: *maxDt, Stride: *maxStride}
-	r := conform.Check(t, p, syn, cfg, *seed, th)
+	cctx, csp := obs.Start(ctx, "conform")
+	r := conform.CheckCtx(cctx, t, p, syn, cfg, *seed, th)
+	csp.SetCount("leaves", int64(r.Leaves))
+	csp.End()
 	r.Fprint(os.Stdout)
 	if !r.Ok() {
+		logViolations(r, p)
+		stop() // still emit the span tree, metrics and profiles on failure
 		os.Exit(1)
+	}
+	stop()
+}
+
+// logViolations reports each broken invariant through the structured
+// logger, resolving the offending leaf's address range and the feature
+// the check name encodes, so a failing gate pinpoints where in the
+// partition hierarchy the contract broke.
+func logViolations(r *conform.Report, p *profile.Profile) {
+	log := obs.Logger()
+	for _, v := range r.Violations {
+		args := []any{"check", v.Check}
+		if f := featureOf(v.Check); f != "" {
+			args = append(args, "feature", f)
+		}
+		if v.Leaf >= 0 {
+			args = append(args, "leaf", v.Leaf)
+			if v.Leaf < len(p.Leaves) {
+				l := &p.Leaves[v.Leaf]
+				args = append(args, "lo", fmt.Sprintf("0x%x", l.Lo), "hi", fmt.Sprintf("0x%x", l.Hi))
+			}
+		}
+		args = append(args, "detail", v.Detail)
+		log.Error("conformance violation", args...)
+	}
+	if r.Dropped > 0 {
+		log.Error("conformance violations dropped", "count", r.Dropped)
+	}
+}
+
+// featureOf extracts the feature name a conformance check encodes
+// (e.g. "strict-convergence/stride" -> "stride"), or "".
+func featureOf(check string) string {
+	i := strings.LastIndexByte(check, '/')
+	if i < 0 {
+		return ""
+	}
+	switch f := check[i+1:]; f {
+	case "dt", "stride", "op", "size":
+		return f
+	default:
+		return ""
 	}
 }

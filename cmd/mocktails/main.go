@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/profile"
@@ -63,7 +65,10 @@ func cmdInspect(args []string) {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	in := fs.String("in", "", "input profile")
 	leaves := fs.Int("leaves", 10, "number of largest leaves to show")
+	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
+	_, stop := of.Start("mocktails.inspect")
+	defer stop()
 	if *in == "" {
 		fatal(fmt.Errorf("inspect: need -in"))
 	}
@@ -82,6 +87,15 @@ func cmdInspect(args []string) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mocktails:", err)
 	os.Exit(1)
+}
+
+// readTraceCtx loads a trace under a "load" span nested below ctx.
+func readTraceCtx(ctx context.Context, path string) trace.Trace {
+	_, sp := obs.Start(ctx, "load")
+	t := readTrace(path)
+	sp.SetCount("requests", int64(len(t)))
+	sp.End()
+	return t
 }
 
 // parseConfig turns the shared -temporal/-interval/-spatial flag values
@@ -130,6 +144,7 @@ func cmdProfile(args []string) {
 	spatial := fs.String("spatial", "dynamic", "spatial scheme: dynamic or a block size in bytes")
 	name := fs.String("name", "workload", "workload name stored in the profile")
 	workers := fs.Int("j", 0, "leaf-fitting workers (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS); any value gives identical output")
+	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("profile: need -in and -out"))
@@ -140,11 +155,18 @@ func cmdProfile(args []string) {
 		fatal(err)
 	}
 
-	t := readTrace(*in)
-	p, err := core.Build(*name, t, cfg, core.Workers(*workers))
+	ctx, stop := of.Start("mocktails.profile")
+	defer stop()
+	t := readTraceCtx(ctx, *in)
+	pctx, psp := obs.Start(ctx, "profile")
+	p, err := core.Build(*name, t, cfg, core.Workers(*workers), core.BuildContext(pctx))
 	if err != nil {
 		fatal(err)
 	}
+	psp.SetCount("requests", int64(len(t)))
+	psp.SetCount("leaves", int64(len(p.Leaves)))
+	psp.End()
+	_, wsp := obs.Start(ctx, "write")
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -153,6 +175,7 @@ func cmdProfile(args []string) {
 	if err := profile.WriteGzip(f, p); err != nil {
 		fatal(err)
 	}
+	wsp.End()
 	fmt.Println(p)
 }
 
@@ -163,10 +186,14 @@ func cmdSynth(args []string) {
 	seed := fs.Uint64("seed", 42, "synthesis seed")
 	workers := fs.Int("j", 1, "chunk-refill workers (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS, 1 = serial); any value gives identical output")
 	batch := fs.Int("batch", 0, "per-leaf pre-generation chunk size (0 = default); any value gives identical output")
+	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("synth: need -in and -out"))
 	}
+	ctx, stop := of.Start("mocktails.synth")
+	defer stop()
+	_, lsp := obs.Start(ctx, "load")
 	f, err := os.Open(*in)
 	if err != nil {
 		fatal(err)
@@ -176,11 +203,17 @@ func cmdSynth(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	lsp.SetCount("leaves", int64(len(p.Leaves)))
+	lsp.End()
 	j := *workers
 	if j <= 0 {
 		j = par.Default()
 	}
-	t := core.SynthesizeTrace(p, *seed, core.SynthWorkers(j), core.SynthBatch(*batch))
+	sctx, ssp := obs.Start(ctx, "synth")
+	t := core.SynthesizeTrace(p, *seed, core.SynthWorkers(j), core.SynthBatch(*batch), core.SynthContext(sctx))
+	ssp.SetCount("requests", int64(len(t)))
+	ssp.End()
+	_, wsp := obs.Start(ctx, "write")
 	o, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -189,17 +222,21 @@ func cmdSynth(args []string) {
 	if err := trace.WriteGzip(o, t); err != nil {
 		fatal(err)
 	}
+	wsp.End()
 	fmt.Printf("synthesised %d requests from %s\n", len(t), p.Name)
 }
 
 func cmdStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "input trace")
+	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
 	if *in == "" {
 		fatal(fmt.Errorf("stats: need -in"))
 	}
-	t := readTrace(*in)
+	ctx, stop := of.Start("mocktails.stats")
+	defer stop()
+	t := readTraceCtx(ctx, *in)
 	reads, writes := t.Counts()
 	lo, hi := t.AddrRange()
 	fmt.Printf("requests:  %d (%d reads, %d writes)\n", len(t), reads, writes)
@@ -213,12 +250,18 @@ func cmdStats(args []string) {
 func cmdSimulate(args []string) {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	in := fs.String("in", "", "input trace")
+	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
 	if *in == "" {
 		fatal(fmt.Errorf("simulate: need -in"))
 	}
-	t := readTrace(*in)
+	ctx, stop := of.Start("mocktails.simulate")
+	defer stop()
+	t := readTraceCtx(ctx, *in)
+	_, ssp := obs.Start(ctx, "simulate")
 	res := dram.Run(trace.NewReplayer(t), dram.Default(), 20)
+	ssp.SetCount("requests", int64(res.Requests))
+	ssp.End()
 	fmt.Printf("requests:        %d\n", res.Requests)
 	fmt.Printf("read bursts:     %d (row hits %d)\n", res.ReadBursts(), res.ReadRowHits())
 	fmt.Printf("write bursts:    %d (row hits %d)\n", res.WriteBursts(), res.WriteRowHits())

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/synthgen"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -31,6 +32,7 @@ func main() {
 	specFile := flag.String("spec-file", "", "JSON workload description to generate")
 	out := flag.String("o", "", "output file (default NAME.trace.<ext>)")
 	format := flag.String("format", "gz", "output format: gz, bin or csv")
+	of := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -45,6 +47,9 @@ func main() {
 		return
 	}
 
+	ctx, stop := of.Start("tracegen")
+	defer stop()
+	_, gsp := obs.Start(ctx, "generate")
 	var t trace.Trace
 	var label string
 	switch {
@@ -83,6 +88,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen: need -name, -spec, -spec-file or -list")
 		os.Exit(2)
 	}
+	gsp.SetCount("requests", int64(len(t)))
+	gsp.End()
 
 	path := *out
 	if path == "" {

@@ -10,10 +10,10 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -23,13 +23,13 @@ func main() {
 	for _, bench := range []string{"gobmk", "libquantum", "zeusmp"} {
 		t, err := workloads.SPECTrace(bench)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(err)
 		}
 		// The CPU-port configuration: 100k-request temporal phases, then
 		// dynamic spatial partitions.
 		syn, _, err := core.Clone(bench, t, core.CPUPortConfig(), 1234)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(err)
 		}
 
 		fmt.Printf("== %s: 32KB L1 miss rate (%%) ==\n", bench)
@@ -47,7 +47,7 @@ func main() {
 func missRate(t trace.Trace, assoc int) float64 {
 	h, err := cache.NewHierarchy(cache.Default64(32<<10, assoc), cache.L2Default())
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(err)
 	}
 	h.Run(t)
 	return h.L1.Stats().MissRate()

@@ -9,10 +9,10 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -21,12 +21,12 @@ func main() {
 	for _, name := range []string{"FBC-Linear1", "FBC-Tiled1"} {
 		spec, err := workloads.Find(name)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(err)
 		}
 		t := spec.Gen()
 		p, err := core.Build(name, t, core.DefaultConfig())
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(err)
 		}
 		cfg := dram.Default()
 		base := dram.Run(trace.NewReplayer(t), cfg, 20)

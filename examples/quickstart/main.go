@@ -12,10 +12,10 @@ package main
 import (
 	"bytes"
 	"fmt"
-	"log"
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -26,7 +26,7 @@ func main() {
 	// their own trace with trace.ReadGzip.)
 	spec, err := workloads.Find("HEVC1")
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(err)
 	}
 	t := spec.Gen()
 	reads, writes := t.Counts()
@@ -37,7 +37,7 @@ func main() {
 	// (500k-cycle temporal intervals, then dynamic spatial partitions).
 	p, err := core.Build(spec.Name, t, core.DefaultConfig())
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(err)
 	}
 	fmt.Println("profile:", p)
 
@@ -45,7 +45,7 @@ func main() {
 	// industry/academia boundary instead of the trace.
 	var buf bytes.Buffer
 	if err := profile.WriteGzip(&buf, p); err != nil {
-		log.Fatal(err)
+		obs.Fatal(err)
 	}
 	fmt.Printf("profile blob: %d bytes (trace would be %d raw request records)\n",
 		buf.Len(), len(t))
@@ -55,7 +55,7 @@ func main() {
 	// backpressure feedback, so it plugs in exactly like a trace.
 	p2, err := profile.ReadGzip(&buf)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(err)
 	}
 	cfg := dram.Default()
 	base := dram.Run(trace.NewReplayer(t), cfg, 20)

@@ -10,10 +10,10 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -26,7 +26,7 @@ func main() {
 	for i, name := range names {
 		spec, err := workloads.Find(name)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(err)
 		}
 		t := spec.Gen()
 		real = append(real, trace.NewReplayer(t))
@@ -35,7 +35,7 @@ func main() {
 		// build it ourselves and then forget the trace.
 		p, err := core.Build(name, t, core.DefaultConfig())
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(err)
 		}
 		mock = append(mock, core.Synthesize(p, uint64(100+i)))
 	}

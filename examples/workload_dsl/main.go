@@ -12,11 +12,11 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/synthgen"
 	"repro/internal/trace"
 	"repro/internal/validate"
@@ -53,7 +53,7 @@ func main() {
 
 	tr, err := spec.Generate()
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(err)
 	}
 	reads, writes := tr.Counts()
 	fmt.Printf("generated %q: %d requests (%d reads / %d writes)\n",
@@ -61,7 +61,7 @@ func main() {
 
 	p, err := core.Build(spec.Name, tr, core.DefaultConfig())
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(err)
 	}
 	fmt.Println("profile:", p)
 

@@ -22,15 +22,23 @@
 package conform
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/profile"
 	"repro/internal/synth"
 	"repro/internal/trace"
+)
+
+// Conformance metrics: full-suite runs, and invariants checked/broken.
+var (
+	mChecksRun  = obs.NewCounter("conform.checks_run")
+	mViolations = obs.NewCounter("conform.violations")
 )
 
 // maxDetails bounds how many violations a Report stores verbatim; the
@@ -229,8 +237,12 @@ type profileModel = markov.Model
 // training sequence's multiset — the property strict convergence will
 // replay at synthesis time.
 func CheckProfile(orig trace.Trace, p *profile.Profile, cfg partition.Config) *Report {
+	return checkProfile(context.Background(), orig, p, cfg)
+}
+
+func checkProfile(ctx context.Context, orig trace.Trace, p *profile.Profile, cfg partition.Config) *Report {
 	r := &Report{}
-	leaves, err := partition.Split(orig, cfg)
+	leaves, err := partition.SplitCtx(ctx, orig, cfg)
 	if err != nil {
 		r.add("profile/split", -1, "re-partitioning original failed: %v", err)
 		return r
@@ -442,12 +454,29 @@ func checkAssembly(r *Report, l *profile.Leaf, stream trace.Trace, f synth.LeafF
 // statistical acceptance distances against the given thresholds. cfg
 // must be the partition configuration the profile was built with.
 func Check(orig trace.Trace, p *profile.Profile, synthetic trace.Trace, cfg partition.Config, seed uint64, th Thresholds) *Report {
-	r := CheckProfile(orig, p, cfg)
+	return CheckCtx(context.Background(), orig, p, synthetic, cfg, seed, th)
+}
+
+// CheckCtx is Check under tracing spans: the three phases (profile
+// invariants, synthetic invariants, statistical acceptance) nest below
+// the span carried by ctx. The report is identical to Check's.
+func CheckCtx(ctx context.Context, orig trace.Trace, p *profile.Profile, synthetic trace.Trace, cfg partition.Config, seed uint64, th Thresholds) *Report {
+	mChecksRun.Inc()
+	pctx, psp := obs.Start(ctx, "conform.profile")
+	r := checkProfile(pctx, orig, p, cfg)
+	psp.SetCount("leaves", int64(r.Leaves))
+	psp.End()
+	_, ssp := obs.Start(ctx, "conform.synthetic")
 	rs := CheckSynthetic(p, synthetic, seed)
+	ssp.SetCount("requests", int64(rs.Requests))
+	ssp.End()
 	rs.Leaves = 0 // already counted by CheckProfile
 	r.merge(rs)
+	_, dsp := obs.Start(ctx, "conform.stat")
 	d := FeatureDistances(orig, synthetic)
 	r.Distances = &d
 	d.check(r, th)
+	dsp.End()
+	mViolations.Add(uint64(len(r.Violations) + r.Dropped))
 	return r
 }

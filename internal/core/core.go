@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/partition"
@@ -44,6 +45,11 @@ type BuildOption = profile.Option
 // count produces a byte-identical profile.
 func Workers(n int) BuildOption { return profile.Workers(n) }
 
+// BuildContext attaches a context to Build for observability: the
+// partition and fit spans nest below the span carried by ctx (see
+// internal/obs). The profile is identical with or without it.
+func BuildContext(ctx context.Context) BuildOption { return profile.Context(ctx) }
+
 // Build creates a Mocktails statistical profile from a trace. The trace
 // must be sorted by time; name labels the workload in the profile.
 func Build(name string, t trace.Trace, cfg Config, opts ...BuildOption) (*profile.Profile, error) {
@@ -64,6 +70,11 @@ func SynthWorkers(n int) SynthOption { return synth.Workers(n) }
 // SynthBatch sets the per-leaf pre-generation chunk size (<= 0 selects
 // synth.DefaultBatch). Any batch size produces a bit-identical stream.
 func SynthBatch(n int) SynthOption { return synth.Batch(n) }
+
+// SynthContext attaches a context to synthesis for observability: the
+// setup span nests below the span carried by ctx (see internal/obs).
+// The stream is identical with or without it.
+func SynthContext(ctx context.Context) SynthOption { return synth.Context(ctx) }
 
 // Synthesize returns a live request source that regenerates the
 // workload's behaviour from the profile. The source implements

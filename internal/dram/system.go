@@ -3,9 +3,25 @@ package dram
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/xbar"
+)
+
+// Simulation gauges: the channel models already compute row hits and
+// burst counts; these surface the most recent Run's totals to the
+// metrics registry (last simulation wins — per-run numbers stay in the
+// returned Result).
+var (
+	gRequests      = obs.NewGauge("dram.requests")
+	gReadBursts    = obs.NewGauge("dram.read_bursts")
+	gWriteBursts   = obs.NewGauge("dram.write_bursts")
+	gReadRowHits   = obs.NewGauge("dram.read_row_hits")
+	gWriteRowHits  = obs.NewGauge("dram.write_row_hits")
+	gReadRowMisses = obs.NewGauge("dram.read_row_misses")
+	gWriteRowMiss  = obs.NewGauge("dram.write_row_misses")
+	gAvgLatency    = obs.NewGauge("dram.avg_latency_cycles")
 )
 
 // System is a multi-channel memory system fed by a trace.Source through a
@@ -127,7 +143,16 @@ func Run(src trace.Source, cfg Config, xbarLatency uint64) Result {
 		}
 	}
 	s.Drain()
-	return s.Result()
+	res := s.Result()
+	gRequests.Set(float64(res.Requests))
+	gReadBursts.Set(float64(res.ReadBursts()))
+	gWriteBursts.Set(float64(res.WriteBursts()))
+	gReadRowHits.Set(float64(res.ReadRowHits()))
+	gWriteRowHits.Set(float64(res.WriteRowHits()))
+	gReadRowMisses.Set(float64(res.ReadBursts() - res.ReadRowHits()))
+	gWriteRowMiss.Set(float64(res.WriteBursts() - res.WriteRowHits()))
+	gAvgLatency.Set(res.AvgLatency)
+	return res
 }
 
 // Aggregate metrics across channels.

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags is the shared observability flag set of the three binaries
+// (mocktails, experiments, tracegen): verbosity, metrics dump,
+// profiling outputs, and the optional pprof HTTP listener. Register it
+// on a FlagSet with RegisterFlags, then bracket the run between Start
+// and its returned stop function.
+type Flags struct {
+	// Verbose enables debug logging and, on stop, the span tree and
+	// per-stage summary on stderr (-v).
+	Verbose bool
+	// Metrics is the path the metrics-registry JSON document is written
+	// to on stop (-metrics).
+	Metrics string
+	// CPUProfile is the CPU profile output path (-pprof).
+	CPUProfile string
+	// MemProfile is the heap profile output path, written on stop
+	// (-memprofile).
+	MemProfile string
+	// Trace is the runtime execution trace output path (-trace).
+	Trace string
+	// HTTP is the address of the optional net/http/pprof + expvar
+	// listener (-pprof-http), e.g. "localhost:6060".
+	HTTP string
+}
+
+// RegisterFlags adds the shared observability flags to fs and returns
+// the struct their values land in after fs.Parse.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Verbose, "v", false, "verbose: debug logging plus a span tree and per-stage summary on exit")
+	fs.StringVar(&f.Metrics, "metrics", "", "write the metrics registry as one JSON document to this file on exit")
+	fs.StringVar(&f.CPUProfile, "pprof", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&f.HTTP, "pprof-http", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Start applies the parsed flags: it sets verbosity, starts the CPU
+// profile, execution trace and pprof listener as requested, and opens
+// the run's root span. The returned context carries the root span (pass
+// it down so stage spans nest); the returned stop function ends the
+// root span, prints the span tree and per-stage summary when verbose,
+// and writes the heap-profile and metrics files. Call stop exactly once
+// at the end of a successful run. Flag-driven setup failures are fatal:
+// a requested-but-broken profile output should not be discovered after
+// a long run.
+func (f *Flags) Start(name string) (context.Context, func()) {
+	SetVerbose(f.Verbose)
+	var stops []func()
+	if f.CPUProfile != "" {
+		stop, err := StartCPUProfile(f.CPUProfile)
+		if err != nil {
+			Fatal(err)
+		}
+		stops = append(stops, stop)
+	}
+	if f.Trace != "" {
+		stop, err := StartTrace(f.Trace)
+		if err != nil {
+			Fatal(err)
+		}
+		stops = append(stops, stop)
+	}
+	if f.HTTP != "" {
+		if err := ServePprof(f.HTTP); err != nil {
+			Fatal(err)
+		}
+	}
+	ctx, root := Start(context.Background(), name)
+	return ctx, func() {
+		root.End()
+		if f.Verbose {
+			fmt.Fprintln(os.Stderr)
+			root.WriteTree(os.Stderr)
+			fmt.Fprintln(os.Stderr)
+			root.WriteSummary(os.Stderr)
+		}
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		if f.MemProfile != "" {
+			if err := WriteHeapProfile(f.MemProfile); err != nil {
+				Logger().Error("heap profile", "err", err)
+			}
+		}
+		if f.Metrics != "" {
+			if err := WriteMetricsFile(f.Metrics); err != nil {
+				Logger().Error("metrics dump", "err", err)
+			}
+		}
+	}
+}

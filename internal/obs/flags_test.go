@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	err := fs.Parse([]string{
+		"-v", "-metrics", "m.json", "-pprof", "cpu.out",
+		"-memprofile", "mem.out", "-trace", "trace.out", "-pprof-http", "localhost:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Flags{Verbose: true, Metrics: "m.json", CPUProfile: "cpu.out",
+		MemProfile: "mem.out", Trace: "trace.out", HTTP: "localhost:0"}
+	if *f != want {
+		t.Fatalf("parsed flags = %+v, want %+v", *f, want)
+	}
+}
+
+// TestFlagsStartStop runs the full bracket the binaries use: Start with
+// every file output requested, a nested stage span, then stop — and
+// checks each artefact landed: parseable metrics JSON with the run's
+// stage metrics, and non-empty CPU/heap/trace profiles.
+func TestFlagsStartStop(t *testing.T) {
+	defer SetVerbose(false)
+	dir := t.TempDir()
+	f := &Flags{
+		Metrics:    filepath.Join(dir, "metrics.json"),
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "run.trace"),
+	}
+	ctx, stop := f.Start("obs_test.run")
+	_, sp := Start(ctx, "obs_test.stage")
+	sp.SetCount("items", 3)
+	sp.End()
+	stop()
+
+	data, err := os.ReadFile(f.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]uint64          `json:"counters"`
+		Gauges     map[string]float64         `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("metrics file does not parse: %v", err)
+	}
+	if doc.Gauges["stage.obs_test.run.wall_ns"] <= 0 {
+		t.Error("metrics missing the root span's wall gauge")
+	}
+	if _, ok := doc.Histograms["stage.obs_test.stage.ns"]; !ok {
+		t.Error("metrics missing the nested stage's histogram")
+	}
+	for _, path := range []string{f.CPUProfile, f.MemProfile, f.Trace} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("missing artefact: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+// TestServePprof stands the debug listener up on an ephemeral port (via
+// the listen seam, which reports the bound address) and checks both
+// endpoints answer: /debug/vars carries the Default registry under the
+// "mocktails" key and /debug/pprof/ serves the profile index.
+func TestServePprof(t *testing.T) {
+	old := listen
+	defer func() { listen = old }()
+	var ln net.Listener
+	listen = func(addr string) (net.Listener, error) {
+		var err error
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		return ln, err
+	}
+	NewCounter("obs_test.served").Inc()
+	if err := ServePprof("ignored"); err != nil {
+		t.Fatal(err)
+	}
+	base := fmt.Sprintf("http://%s", ln.Addr())
+
+	body := httpGet(t, base+"/debug/vars")
+	var vars struct {
+		Mocktails struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"mocktails"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars does not parse: %v", err)
+	}
+	if vars.Mocktails.Counters["obs_test.served"] == 0 {
+		t.Error(`/debug/vars missing the Default registry under "mocktails"`)
+	}
+	if len(httpGet(t, base+"/debug/pprof/")) == 0 {
+		t.Error("/debug/pprof/ served an empty index")
+	}
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}

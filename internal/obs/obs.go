@@ -1,0 +1,94 @@
+// Package obs is the repository's observability core: structured logging
+// on log/slog, a process-wide metrics registry (atomic counters, gauges
+// and fixed-bucket histograms, exported via expvar and dumpable as one
+// JSON document), lightweight nested spans reproducing the Fig. 1
+// pipeline stages, and pprof/runtime-trace hooks shared by the three
+// command-line binaries.
+//
+// The package is dependency-light by design — standard library only, no
+// imports from the rest of the repository — so every pipeline package
+// can instrument itself without creating cycles. Instrumentation is
+// strictly write-only from the pipeline's point of view: nothing read
+// from the registry, the logger or a span ever feeds back into
+// partitioning, fitting or synthesis, so profile and trace bytes are
+// identical with observability on or off (pinned by the determinism
+// test in this package).
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// logger holds the process-wide default logger. Reads are lock-free so
+// hot paths can grab it cheaply; SetVerbose and SetLogger swap it.
+var logger atomic.Pointer[slog.Logger]
+
+// verbose mirrors whether SetVerbose(true) was last called, for callers
+// that want to skip building expensive log arguments entirely.
+var verbose atomic.Bool
+
+func init() {
+	logger.Store(newLogger(false))
+}
+
+func newLogger(verbose bool) *slog.Logger {
+	level := slog.LevelWarn
+	if verbose {
+		level = slog.LevelDebug
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+}
+
+// Logger returns the process-wide default logger. The zero configuration
+// logs warnings and errors as logfmt text on stderr; SetVerbose(true)
+// lowers the threshold to debug so per-stage progress becomes visible.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the process-wide default logger.
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		logger.Store(l)
+	}
+}
+
+// SetVerbose switches the default logger between the quiet (warn+) and
+// verbose (debug+) text configurations. The CLI -v flag lands here.
+func SetVerbose(v bool) {
+	verbose.Store(v)
+	logger.Store(newLogger(v))
+}
+
+// Verbose reports whether verbose logging is enabled.
+func Verbose() bool { return verbose.Load() }
+
+// loggerKey carries a per-run context logger through a pipeline run.
+type loggerKey struct{}
+
+// WithLogger returns a context carrying l; FromContext retrieves it.
+// Use it to tag one run's log lines (run id, workload name) without
+// touching the process-wide default.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// FromContext returns the logger carried by ctx, or the process-wide
+// default when the context has none.
+func FromContext(ctx context.Context) *slog.Logger {
+	if ctx != nil {
+		if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok && l != nil {
+			return l
+		}
+	}
+	return Logger()
+}
+
+// Fatal logs err through the structured logger and exits with status 1.
+// It is the shared fatal-error path of the binaries and examples, so
+// their failure output all has one format.
+func Fatal(err error) {
+	Logger().Error("fatal", "err", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// listen is a test seam for ServePprof.
+var listen = func(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// StartCPUProfile begins writing a CPU profile to path and returns a
+// stop function that ends profiling and closes the file.
+func StartCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (for up-to-date allocation data, as
+// `go test -memprofile` does) and writes the heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}
+
+// StartTrace begins writing a runtime execution trace to path and
+// returns a stop function that ends tracing and closes the file.
+func StartTrace(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace: %w", err)
+	}
+	if err := trace.Start(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: trace: %w", err)
+	}
+	return func() {
+		trace.Stop()
+		f.Close()
+	}, nil
+}
+
+// ServePprof starts an HTTP listener on addr serving net/http/pprof
+// under /debug/pprof and the expvar-published metrics (including the
+// Default registry as "mocktails") under /debug/vars. It returns once
+// the listener is accepting; the goroutine serves for the remainder of
+// the process.
+func ServePprof(addr string) error {
+	publishExpvar()
+	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux}
+	ln, err := listen(addr)
+	if err != nil {
+		return fmt.Errorf("obs: pprof listener: %w", err)
+	}
+	Logger().Info("pprof listener up", "addr", ln.Addr().String())
+	go srv.Serve(ln)
+	return nil
+}

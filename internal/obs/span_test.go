@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSpanNesting walks the context-carried tree the way the CLI does:
+// stage spans started from a parent's context attach as children in
+// start order, and siblings started from the same context do not nest
+// into each other.
+func TestSpanNesting(t *testing.T) {
+	ctx, root := Start(context.Background(), "run")
+	actx, a := Start(ctx, "a")
+	_, a1 := Start(actx, "a1")
+	a1.End()
+	a.End()
+	_, b := Start(ctx, "b")
+	b.End()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "a" || kids[1].Name() != "b" {
+		t.Fatalf("root children = %v, want [a b]", names(kids))
+	}
+	if g := kids[0].Children(); len(g) != 1 || g[0].Name() != "a1" {
+		t.Fatalf("a children = %v, want [a1]", names(g))
+	}
+	if g := kids[1].Children(); len(g) != 0 {
+		t.Fatalf("b children = %v, want none", names(g))
+	}
+}
+
+func names(spans []*Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+func TestSpanFromContext(t *testing.T) {
+	if SpanFromContext(nil) != nil || SpanFromContext(context.Background()) != nil {
+		t.Fatal("SpanFromContext must be nil for span-free contexts")
+	}
+	ctx, sp := Start(context.Background(), "x")
+	if SpanFromContext(ctx) != sp {
+		t.Fatal("SpanFromContext did not return the started span")
+	}
+	sp.End()
+}
+
+func TestSpanCounts(t *testing.T) {
+	_, sp := Start(context.Background(), "counts")
+	sp.SetCount("requests", 10)
+	sp.SetCount("leaves", 3)
+	sp.SetCount("requests", 400) // overwrite, not append
+	sp.End()
+	got := sp.Counts()
+	if len(got) != 2 || got[0] != (SpanCount{"requests", 400}) || got[1] != (SpanCount{"leaves", 3}) {
+		t.Fatalf("Counts() = %v, want [{requests 400} {leaves 3}]", got)
+	}
+}
+
+// TestSpanEndOnce pins that a second End keeps the first measurement
+// (the CLI's failure path calls stop() explicitly and then deferred
+// stops may run again).
+func TestSpanEndOnce(t *testing.T) {
+	_, sp := Start(context.Background(), "once")
+	sp.End()
+	first := sp.Wall()
+	sp.End()
+	if sp.Wall() != first {
+		t.Fatalf("second End changed wall time: %v -> %v", first, sp.Wall())
+	}
+}
+
+// TestSpanEndRecordsStageMetrics checks End feeds the Default registry:
+// one observation in the stage histogram and a positive wall gauge.
+func TestSpanEndRecordsStageMetrics(t *testing.T) {
+	const name = "obs_test.stage_metrics"
+	before := NewHistogram("stage."+name+".ns", ScaleNs).Total()
+	_, sp := Start(context.Background(), name)
+	sp.End()
+	if got := NewHistogram("stage."+name+".ns", ScaleNs).Total(); got != before+1 {
+		t.Errorf("stage histogram total = %d, want %d", got, before+1)
+	}
+	if g := NewGauge("stage." + name + ".wall_ns").Value(); g <= 0 {
+		t.Errorf("stage wall gauge = %v, want > 0", g)
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var sp *Span
+	sp.SetCount("x", 1)
+	sp.End()
+	if sp.Name() != "" || sp.Wall() != 0 || sp.Counts() != nil || sp.Children() != nil {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	sp.WriteTree(&bytes.Buffer{})
+	sp.WriteSummary(&bytes.Buffer{})
+}
+
+func TestWriteTree(t *testing.T) {
+	ctx, root := Start(context.Background(), "run")
+	cctx, child := Start(ctx, "child")
+	child.SetCount("requests", 400)
+	_, grand := Start(cctx, "grandchild")
+	grand.End()
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	root.WriteTree(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tree has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "run") {
+		t.Errorf("root line = %q, want no indent", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  child") || !strings.Contains(lines[1], "requests=400") {
+		t.Errorf("child line = %q, want two-space indent and requests=400", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    grandchild") {
+		t.Errorf("grandchild line = %q, want four-space indent", lines[2])
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	ctx, root := Start(context.Background(), "run")
+	_, child := Start(ctx, "synth")
+	child.SetCount("requests", 1000)
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	root.WriteSummary(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "stage") || !strings.Contains(out, "synth") || !strings.Contains(out, "requests/s=") {
+		t.Fatalf("summary missing stage row or rate column:\n%s", out)
+	}
+}

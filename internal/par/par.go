@@ -19,6 +19,22 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Pool metrics. Utilization is measured per ForEach run at worker
+// granularity (each worker's lifetime versus the pool's wall time), so
+// the accounting cost is two clock reads per worker, not per task —
+// cheap enough to leave on unconditionally without disturbing the
+// determinism or throughput of the fitted pipeline.
+var (
+	mRuns        = obs.NewCounter("par.runs")
+	mTasks       = obs.NewCounter("par.tasks")
+	mBusyNs      = obs.NewCounter("par.worker_busy_ns")
+	mWallNs      = obs.NewCounter("par.worker_wall_ns")
+	mUtilization = obs.NewGauge("par.utilization")
 )
 
 // EnvVar is the environment variable that overrides the default worker
@@ -68,10 +84,17 @@ func ForEach(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	mRuns.Inc()
+	mTasks.Add(uint64(n))
 	if workers == 1 {
+		start := time.Now()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		wall := time.Since(start)
+		mBusyNs.Add(uint64(wall))
+		mWallNs.Add(uint64(wall))
+		mUtilization.Set(1)
 		return
 	}
 	var (
@@ -79,11 +102,17 @@ func ForEach(n, workers int, fn func(i int)) {
 		wg       sync.WaitGroup
 		panicked atomic.Bool
 		panicVal atomic.Value
+		busyNs   atomic.Int64
 	)
+	start := time.Now()
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
-			defer wg.Done()
+			workerStart := time.Now()
+			defer func() {
+				busyNs.Add(int64(time.Since(workerStart)))
+				wg.Done()
+			}()
 			for !panicked.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -106,6 +135,12 @@ func ForEach(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	wall := time.Since(start)
+	mBusyNs.Add(uint64(busyNs.Load()))
+	mWallNs.Add(uint64(int64(wall) * int64(workers)))
+	if wall > 0 {
+		mUtilization.Set(float64(busyNs.Load()) / (float64(wall) * float64(workers)))
+	}
 	if panicked.Load() {
 		panic(panicVal.Load())
 	}

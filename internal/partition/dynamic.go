@@ -26,6 +26,9 @@ func ByDynamic(t trace.Trace) []Leaf {
 		return nil
 	}
 	regions := mergeRanges(t)
+	// Every merge of Algorithm 1 collapses two ranges into one, so the
+	// merge count is exactly the range deficit.
+	mRangeMerges.Add(uint64(len(t) - len(regions)))
 	// Assign requests to regions; requests are ordered, so each region's
 	// subsequence is ordered too.
 	perRegion := make([]trace.Trace, len(regions))
@@ -49,6 +52,7 @@ func ByDynamic(t trace.Trace) []Leaf {
 	if len(lonelies) == 0 {
 		return leaves
 	}
+	mLonelyRequests.Add(uint64(len(lonelies)))
 	// Group lonely requests: maximal constant-stride runs in address
 	// order become partitions; leftovers merge into one partition.
 	sort.SliceStable(lonelies, func(i, j int) bool { return lonelies[i].req.Addr < lonelies[j].req.Addr })
@@ -84,6 +88,7 @@ type lonely struct {
 }
 
 func lonelyLeaf(ls []lonely) Leaf {
+	mLonelyGroups.Inc()
 	reqs := make(trace.Trace, 0, len(ls))
 	lo, hi := ls[0].lo, ls[0].hi
 	for _, l := range ls {

@@ -6,12 +6,22 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/trace"
+)
+
+// Fitting metrics: leaves fitted and the Markov-vs-Constant mix of the
+// resulting feature models (4 per leaf).
+var (
+	mLeavesFitted   = obs.NewCounter("profile.leaves_fitted")
+	mModelsMarkov   = obs.NewCounter("profile.models_markov")
+	mModelsConstant = obs.NewCounter("profile.models_constant")
 )
 
 // Leaf models one partition. The four features are modelled independently
@@ -51,6 +61,7 @@ type Option func(*buildOptions)
 
 type buildOptions struct {
 	workers int
+	ctx     context.Context
 }
 
 // Workers sets the number of goroutines Build fits leaves with. Values
@@ -59,6 +70,14 @@ type buildOptions struct {
 // The result is identical for every worker count.
 func Workers(n int) Option {
 	return func(o *buildOptions) { o.workers = n }
+}
+
+// Context attaches a context to Build for observability: the build's
+// tracing spans (partition.split, profile.fit) nest below the span
+// carried by ctx (see internal/obs). The fitted profile is identical
+// with or without it.
+func Context(ctx context.Context) Option {
+	return func(o *buildOptions) { o.ctx = ctx }
 }
 
 // Build constructs a profile from a trace using the given hierarchical
@@ -72,14 +91,25 @@ func Build(name string, t trace.Trace, cfg partition.Config, opts ...Option) (*P
 	for _, opt := range opts {
 		opt(&o)
 	}
-	leaves, err := partition.Split(t, cfg)
+	ctx, bsp := obs.Start(o.ctx, "profile.build")
+	leaves, err := partition.SplitCtx(ctx, t, cfg)
 	if err != nil {
 		return nil, err
 	}
 	p := &Profile{Name: name, Config: cfg.String()}
+	_, fsp := obs.Start(ctx, "profile.fit")
 	p.Leaves = par.Map(len(leaves), o.workers, func(i int) Leaf {
 		return fitLeaf(leaves[i])
 	})
+	fsp.SetCount("leaves", int64(len(leaves)))
+	fsp.End()
+	s := p.Stats()
+	mLeavesFitted.Add(uint64(s.Leaves))
+	mModelsMarkov.Add(uint64(s.Chains))
+	mModelsConstant.Add(uint64(s.Constants))
+	bsp.SetCount("requests", int64(len(t)))
+	bsp.SetCount("leaves", int64(len(leaves)))
+	bsp.End()
 	return p, nil
 }
 

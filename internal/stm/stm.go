@@ -14,13 +14,19 @@
 package stm
 
 import (
+	"context"
+
 	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
+
+// mLeavesFitted counts leaves fitted by the STM baseline.
+var mLeavesFitted = obs.NewCounter("stm.leaves_fitted")
 
 // MaxHistory is the maximum stride-history length in the pattern table.
 const MaxHistory = 8
@@ -58,6 +64,7 @@ type Option func(*buildOptions)
 
 type buildOptions struct {
 	workers int
+	ctx     context.Context
 }
 
 // Workers sets the number of goroutines Build fits leaves with. Values
@@ -65,6 +72,13 @@ type buildOptions struct {
 // count.
 func Workers(n int) Option {
 	return func(o *buildOptions) { o.workers = n }
+}
+
+// Context attaches a context to Build for observability: the build's
+// tracing spans nest below the span carried by ctx (see internal/obs).
+// The fitted profile is identical with or without it.
+func Context(ctx context.Context) Option {
+	return func(o *buildOptions) { o.ctx = ctx }
 }
 
 // Build fits an STM profile using the same partitioning hierarchy as
@@ -75,14 +89,22 @@ func Build(name string, t trace.Trace, cfg partition.Config, opts ...Option) (*P
 	for _, opt := range opts {
 		opt(&o)
 	}
-	leaves, err := partition.Split(t, cfg)
+	ctx, bsp := obs.Start(o.ctx, "stm.build")
+	leaves, err := partition.SplitCtx(ctx, t, cfg)
 	if err != nil {
 		return nil, err
 	}
 	p := &Profile{Name: name}
+	_, fsp := obs.Start(ctx, "stm.fit")
 	p.Leaves = par.Map(len(leaves), o.workers, func(i int) Leaf {
 		return fitLeaf(leaves[i])
 	})
+	fsp.SetCount("leaves", int64(len(leaves)))
+	fsp.End()
+	mLeavesFitted.Add(uint64(len(leaves)))
+	bsp.SetCount("requests", int64(len(t)))
+	bsp.SetCount("leaves", int64(len(leaves)))
+	bsp.End()
 	return p, nil
 }
 

@@ -58,11 +58,18 @@ type batchMerger struct {
 	batch   int
 	live    int
 
+	// pops, delayCalls and delayCycles are merge-loop-local stats
+	// (single consumer goroutine, no atomics) flushed to the registry
+	// exactly once by finish.
+	pops        uint64
+	delayCalls  uint64
+	delayCycles uint64
+
 	// jobs feeds refill requests to the worker pool; nil in serial mode.
-	// closeOnce closes it exactly once — when the last stream drains, or
-	// from Close for abandoned synthesizers.
-	jobs      chan refillJob
-	closeOnce sync.Once
+	// finishOnce flushes stats and closes jobs exactly once — when the
+	// last stream drains, or from Close for abandoned synthesizers.
+	jobs       chan refillJob
+	finishOnce sync.Once
 }
 
 // init builds the stream for one leaf in place — generator construction
@@ -172,6 +179,7 @@ func (m *batchMerger) Next() (trace.Request, bool) {
 	req := s.cur[s.pos]
 	req.Time += m.shift
 	s.pos++
+	m.pops++
 	if s.pos < len(s.cur) {
 		m.lt.times[w] = s.cur[s.pos].Time
 	} else if m.refill(s) {
@@ -204,16 +212,25 @@ func (m *batchMerger) refill(s *leafStream) bool {
 }
 
 // Delay adds backpressure delay to all not-yet-emitted requests.
-func (m *batchMerger) Delay(cycles uint64) { m.shift += cycles }
+func (m *batchMerger) Delay(cycles uint64) {
+	m.shift += cycles
+	m.delayCalls++
+	m.delayCycles += cycles
+}
 
-// close releases the refill workers. Safe because no stream has an
-// outstanding refill when it is called: drained streams are eof, and
-// Close's contract is that the caller has stopped calling Next.
+// close releases the refill workers and flushes the merge-loop stats to
+// the registry. Safe because no stream has an outstanding refill when
+// it is called: drained streams are eof, and Close's contract is that
+// the caller has stopped calling Next.
 func (m *batchMerger) close() {
-	if m.jobs == nil {
-		return
-	}
-	m.closeOnce.Do(func() { close(m.jobs) })
+	m.finishOnce.Do(func() {
+		mRequests.Add(m.pops)
+		mDelayCalls.Add(m.delayCalls)
+		mDelayCycles.Add(m.delayCycles)
+		if m.jobs != nil {
+			close(m.jobs)
+		}
+	})
 }
 
 // Close releases the refill workers of an abandoned parallel merger.
