@@ -12,6 +12,9 @@ package repro
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/core"
@@ -19,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hrd"
 	"repro/internal/partition"
+	"repro/internal/serve"
 	"repro/internal/stm"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -192,6 +196,53 @@ func BenchmarkSynthesize(b *testing.B) {
 				b.SetBytes(int64(len(tr)))
 			})
 		}
+	}
+}
+
+// BenchmarkServeSynth measures the mocktailsd streaming synthesis
+// endpoint end-to-end in-process: per iteration one HTTP POST against
+// an httptest server, the chunked binary response streamed to
+// io.Discard. Tracked in BENCH_serve.json on the same small/large
+// profiles as BenchmarkSynthesize, so the delta over synth/… is the
+// HTTP + streaming-encoder overhead.
+func BenchmarkServeSynth(b *testing.B) {
+	cases := []struct{ size, workload string }{
+		{"small", "OpenCL1"},
+		{"large", "Manhattan"},
+	}
+	for _, c := range cases {
+		s, err := workloads.Find(c.workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := core.Build(c.workload, s.Gen(), core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := serve.NewServer(serve.Config{})
+		meta, _, err := srv.Store().Put(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		url := ts.URL + "/v1/profiles/" + meta.ID + "/synth?seed="
+		want := trace.BinaryEncodedSize(uint64(p.Requests()))
+		b.Run(c.size, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Post(url+fmt.Sprint(i), "", nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, err := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK || n != want {
+					b.Fatalf("stream: status %d, %d of %d bytes, err %v", resp.StatusCode, n, want, err)
+				}
+			}
+			b.SetBytes(want)
+		})
+		ts.Close()
 	}
 }
 

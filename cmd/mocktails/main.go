@@ -6,7 +6,8 @@
 // Usage:
 //
 //	mocktails profile -in workload.trace.gz -out workload.profile.gz [-interval 500000] [-spatial dynamic|4096] [-j N]
-//	mocktails synth   -in workload.profile.gz -out synthetic.trace.gz [-seed 42] [-j N] [-batch N]
+//	mocktails synth   -in workload.profile.gz -out synthetic.trace.gz [-seed 42] [-n N] [-format gz|bin|csv] [-j N] [-batch N]
+//	mocktails serve   [-addr localhost:8677] [-store-budget 256MiB] ...
 //	mocktails stats   -in workload.trace.gz
 //	mocktails simulate -in workload.trace.gz
 //	mocktails analyze -in workload.trace.gz [-top 8]
@@ -27,6 +28,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/profile"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -51,13 +53,15 @@ func main() {
 		cmdInspect(os.Args[2:])
 	case "check":
 		cmdCheck(os.Args[2:])
+	case "serve":
+		serve.Main("mocktails serve", os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|stats|simulate|analyze|compare|inspect|check} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|stats|simulate|analyze|compare|inspect|check|serve} [flags]")
 	os.Exit(2)
 }
 
@@ -182,14 +186,19 @@ func cmdProfile(args []string) {
 func cmdSynth(args []string) {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
 	in := fs.String("in", "", "input profile")
-	out := fs.String("out", "", "output trace (gzip binary format)")
+	out := fs.String("out", "", "output trace")
 	seed := fs.Uint64("seed", 42, "synthesis seed")
+	n := fs.Uint64("n", 0, "emit only the first n requests (0 = all)")
+	format := fs.String("format", "gz", "output format: gz, bin or csv")
 	workers := fs.Int("j", 1, "chunk-refill workers (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS, 1 = serial); any value gives identical output")
 	batch := fs.Int("batch", 0, "per-leaf pre-generation chunk size (0 = default); any value gives identical output")
 	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("synth: need -in and -out"))
+	}
+	if *format != "gz" && *format != "bin" && *format != "csv" {
+		fatal(fmt.Errorf("synth: unknown -format %q", *format))
 	}
 	ctx, stop := of.Start("mocktails.synth")
 	defer stop()
@@ -210,7 +219,11 @@ func cmdSynth(args []string) {
 		j = par.Default()
 	}
 	sctx, ssp := obs.Start(ctx, "synth")
-	t := core.SynthesizeTrace(p, *seed, core.SynthWorkers(j), core.SynthBatch(*batch), core.SynthContext(sctx))
+	src := core.Synthesize(p, *seed, core.SynthWorkers(j), core.SynthBatch(*batch), core.SynthContext(sctx))
+	t := trace.Collect(src, int(*n))
+	if c, ok := src.(interface{ Close() }); ok {
+		c.Close() // release refill workers when -n truncated the stream
+	}
 	ssp.SetCount("requests", int64(len(t)))
 	ssp.End()
 	_, wsp := obs.Start(ctx, "write")
@@ -219,7 +232,15 @@ func cmdSynth(args []string) {
 		fatal(err)
 	}
 	defer o.Close()
-	if err := trace.WriteGzip(o, t); err != nil {
+	switch *format {
+	case "gz":
+		err = trace.WriteGzip(o, t)
+	case "bin":
+		_, err = trace.WriteBinary(o, t)
+	case "csv":
+		_, err = trace.WriteCSV(o, t)
+	}
+	if err != nil {
 		fatal(err)
 	}
 	wsp.End()

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 
@@ -135,6 +137,7 @@ func TestCLIErrors(t *testing.T) {
 		{"check without -in", []string{"check"}, 1},
 		{"check bad spatial", []string{"check", "-in", "x", "-spatial", "zz"}, 1},
 		{"missing input file", []string{"stats", "-in", "/nonexistent.trace.gz"}, 1},
+		{"synth bad format", []string{"synth", "-in", "x.profile.gz", "-out", "y", "-format", "xml"}, 1},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -144,6 +147,58 @@ func TestCLIErrors(t *testing.T) {
 			}
 		})
 	}
+}
+
+// synth -format bin/csv and -n: the uncompressed formats decode to the
+// same requests as the default gzip output, and -n truncates.
+func TestCLISynthFormats(t *testing.T) {
+	dir := t.TempDir()
+	in := tinyTrace(t, dir)
+	prof := filepath.Join(dir, "tiny.profile.gz")
+	if out, code := runSelf(t, "profile", "-in", in, "-out", prof, "-interval", "5000", "-name", "tiny"); code != 0 {
+		t.Fatalf("profile: exit %d, output:\n%s", code, out)
+	}
+
+	gz := filepath.Join(dir, "s.trace.gz")
+	bin := filepath.Join(dir, "s.trace.bin")
+	csv := filepath.Join(dir, "s.trace.csv")
+	for _, c := range [][]string{
+		{"synth", "-in", prof, "-seed", "7", "-out", gz},
+		{"synth", "-in", prof, "-seed", "7", "-format", "bin", "-out", bin},
+		{"synth", "-in", prof, "-seed", "7", "-format", "csv", "-out", csv},
+	} {
+		if out, code := runSelf(t, c...); code != 0 {
+			t.Fatalf("%v: exit %d, output:\n%s", c, code, out)
+		}
+	}
+	want := readAs(t, gz, trace.ReadGzip)
+	if got := readAs(t, bin, trace.ReadBinary); !slices.Equal(got, want) {
+		t.Fatal("-format bin decodes to different requests than gzip output")
+	}
+	if got := readAs(t, csv, trace.ReadCSV); !slices.Equal(got, want) {
+		t.Fatal("-format csv decodes to different requests than gzip output")
+	}
+
+	if out, code := runSelf(t, "synth", "-in", prof, "-seed", "7", "-n", "100", "-format", "bin", "-out", bin); code != 0 || !strings.Contains(out, "synthesised 100 requests") {
+		t.Fatalf("synth -n: exit %d, output:\n%s", code, out)
+	}
+	if got := readAs(t, bin, trace.ReadBinary); !slices.Equal(got, want[:100]) {
+		t.Fatal("-n 100 is not the prefix of the full stream")
+	}
+}
+
+func readAs(t *testing.T, path string, read func(r io.Reader) (trace.Trace, error)) trace.Trace {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := read(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return tr
 }
 
 func TestCLICheckFailsOnBadTrace(t *testing.T) {

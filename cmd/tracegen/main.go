@@ -108,9 +108,9 @@ func main() {
 	case "gz":
 		err = trace.WriteGzip(f, t)
 	case "bin":
-		err = trace.WriteBinary(f, t)
+		_, err = trace.WriteBinary(f, t)
 	case "csv":
-		err = trace.WriteCSV(f, t)
+		_, err = trace.WriteCSV(f, t)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}

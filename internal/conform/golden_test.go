@@ -143,9 +143,9 @@ func TestGoldenCorpus(t *testing.T) {
 		c := plan
 		c.Requests = len(tr)
 		c.Leaves = len(p.Leaves)
-		c.TraceSHA = digest(t, func(w io.Writer) error { return trace.WriteBinary(w, tr) })
+		c.TraceSHA = digest(t, func(w io.Writer) error { _, err := trace.WriteBinary(w, tr); return err })
 		c.ProfSHA = digest(t, func(w io.Writer) error { return profile.Write(w, p) })
-		c.SynthSHA = digest(t, func(w io.Writer) error { return trace.WriteBinary(w, syn) })
+		c.SynthSHA = digest(t, func(w io.Writer) error { _, err := trace.WriteBinary(w, syn); return err })
 		got.Cases = append(got.Cases, c)
 	}
 

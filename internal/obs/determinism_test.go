@@ -51,7 +51,7 @@ func runPipeline(t *testing.T, tr trace.Trace, buildOpts []core.BuildOption, syn
 	}
 	syn := core.SynthesizeTrace(p, 42, synthOpts...)
 	var sb bytes.Buffer
-	if err := trace.WriteBinary(&sb, syn); err != nil {
+	if _, err := trace.WriteBinary(&sb, syn); err != nil {
 		t.Fatal(err)
 	}
 	return pb.Bytes(), sb.Bytes()

@@ -71,9 +71,15 @@ func (f *Flags) Start(name string) (context.Context, func()) {
 		stops = append(stops, stop)
 	}
 	if f.HTTP != "" {
-		if err := ServePprof(f.HTTP); err != nil {
+		// The listener lives exactly as long as the bracket: stop closes
+		// it (and waits for its goroutine) instead of leaking it for the
+		// remainder of the process.
+		hctx, cancel := context.WithCancel(context.Background())
+		if err := ServePprof(hctx, f.HTTP); err != nil {
+			cancel()
 			Fatal(err)
 		}
+		stops = append(stops, cancel)
 	}
 	ctx, root := Start(context.Background(), name)
 	return ctx, func() {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestRegisterFlagsParse(t *testing.T) {
@@ -80,8 +82,10 @@ func TestFlagsStartStop(t *testing.T) {
 
 // TestServePprof stands the debug listener up on an ephemeral port (via
 // the listen seam, which reports the bound address) and checks both
-// endpoints answer: /debug/vars carries the Default registry under the
-// "mocktails" key and /debug/pprof/ serves the profile index.
+// endpoints answer — /debug/vars carries the Default registry under the
+// "mocktails" key and /debug/pprof/ serves the profile index — then
+// cancels the listener's context and checks the port actually closes,
+// pinning the no-leaked-goroutine contract of the bracket.
 func TestServePprof(t *testing.T) {
 	old := listen
 	defer func() { listen = old }()
@@ -92,7 +96,9 @@ func TestServePprof(t *testing.T) {
 		return ln, err
 	}
 	NewCounter("obs_test.served").Inc()
-	if err := ServePprof("ignored"); err != nil {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := ServePprof(ctx, "ignored"); err != nil {
 		t.Fatal(err)
 	}
 	base := fmt.Sprintf("http://%s", ln.Addr())
@@ -111,6 +117,20 @@ func TestServePprof(t *testing.T) {
 	}
 	if len(httpGet(t, base+"/debug/pprof/")) == 0 {
 		t.Error("/debug/pprof/ served an empty index")
+	}
+
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			break // listener is down
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after context cancellation")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
+	"expvar"
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	netpprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -63,19 +65,48 @@ func StartTrace(path string) (stop func(), err error) {
 	}, nil
 }
 
-// ServePprof starts an HTTP listener on addr serving net/http/pprof
-// under /debug/pprof and the expvar-published metrics (including the
-// Default registry as "mocktails") under /debug/vars. It returns once
-// the listener is accepting; the goroutine serves for the remainder of
-// the process.
-func ServePprof(addr string) error {
+// DebugHandler returns an http.Handler serving the debug surface the
+// pprof listener exposes: net/http/pprof under /debug/pprof/ and the
+// expvar-published metrics (including the Default registry as
+// "mocktails") under /debug/vars. It uses a dedicated mux rather than
+// http.DefaultServeMux, so a server embedding it (mocktailsd mounts it
+// under -debug) exposes exactly these routes and nothing that other
+// packages may have registered globally.
+func DebugHandler() http.Handler {
 	publishExpvar()
-	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// ServePprof starts an HTTP listener on addr serving DebugHandler. It
+// returns once the listener is accepting. The server's lifetime is tied
+// to ctx: when ctx is canceled the listener closes and the serve
+// goroutine exits, so a CLI bracket (obs.Flags) or daemon shutdown does
+// not leak it. A nil ctx serves for the remainder of the process.
+func ServePprof(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: DebugHandler()}
 	ln, err := listen(addr)
 	if err != nil {
 		return fmt.Errorf("obs: pprof listener: %w", err)
 	}
 	Logger().Info("pprof listener up", "addr", ln.Addr().String())
-	go srv.Serve(ln)
+	done := make(chan struct{})
+	go func() {
+		srv.Serve(ln)
+		close(done)
+	}()
+	if ctx != nil {
+		go func() {
+			<-ctx.Done()
+			srv.Close()
+			<-done
+		}()
+	}
 	return nil
 }

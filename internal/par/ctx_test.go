@@ -1,0 +1,56 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCtxNilAndUncanceled(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEachCtx(nil, 100, 4, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("nil ctx ran %d of 100", ran.Load())
+	}
+	ran.Store(0)
+	if err := ForEachCtx(context.Background(), 100, 4, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("background ctx: %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("background ctx ran %d of 100", ran.Load())
+	}
+}
+
+func TestForEachCtxCancelStopsDispatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, 10000, workers, func(i int) {
+			if ran.Add(1) == 50 {
+				cancel()
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight items complete, but dispatch stops: far fewer than
+		// the full index space runs.
+		if n := ran.Load(); n < 50 || n > 50+int64(workers) {
+			t.Fatalf("workers=%d: ran %d items after cancel at 50", workers, n)
+		}
+	}
+}
+
+func TestForEachCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	if err := ForEachCtx(ctx, 100, 4, func(i int) { ran.Add(1) }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-canceled ctx still ran %d items", ran.Load())
+	}
+}

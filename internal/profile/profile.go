@@ -98,9 +98,17 @@ func Build(name string, t trace.Trace, cfg partition.Config, opts ...Option) (*P
 	}
 	p := &Profile{Name: name, Config: cfg.String()}
 	_, fsp := obs.Start(ctx, "profile.fit")
-	p.Leaves = par.Map(len(leaves), o.workers, func(i int) Leaf {
-		return fitLeaf(leaves[i])
-	})
+	// Fitting honours the caller's context so a canceled request (a
+	// server-side fit whose client disconnected, a timed-out upload)
+	// stops dispatching leaves instead of fitting the whole hierarchy
+	// for a result nobody will read.
+	p.Leaves = make([]Leaf, len(leaves))
+	if err := par.ForEachCtx(ctx, len(leaves), o.workers, func(i int) {
+		p.Leaves[i] = fitLeaf(leaves[i])
+	}); err != nil {
+		fsp.End()
+		return nil, fmt.Errorf("profile: fit canceled: %w", err)
+	}
 	fsp.SetCount("leaves", int64(len(leaves)))
 	fsp.End()
 	s := p.Stats()

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"net/url"
+	"testing"
+)
+
+// FuzzParseUploadQuery feeds arbitrary query strings to the upload
+// request parser: it must never panic, and on success the resulting
+// options must be internally consistent (a known kind and a non-empty
+// partitioning configuration).
+func FuzzParseUploadQuery(f *testing.F) {
+	f.Add("")
+	f.Add("kind=profile")
+	f.Add("kind=trace&name=hevc&temporal=cycles&interval=500000&spatial=dynamic")
+	f.Add("kind=trace&temporal=requests&interval=1&spatial=4096")
+	f.Add("kind=nonsense")
+	f.Add("interval=0")
+	f.Add("spatial=-1")
+	f.Add("bogus=1")
+	f.Add("name=%00%ff")
+	f.Add("kind=trace&kind=profile")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		o, err := ParseUploadOptions(q)
+		if err != nil {
+			return
+		}
+		if o.Kind != KindProfile && o.Kind != KindTrace {
+			t.Fatalf("accepted unknown kind %q", o.Kind)
+		}
+		if o.Name == "" || len(o.Name) > maxNameLen {
+			t.Fatalf("accepted bad name %q", o.Name)
+		}
+		if len(o.Partition.Layers) != 2 {
+			t.Fatalf("accepted %d partition layers, want 2", len(o.Partition.Layers))
+		}
+	})
+}
+
+// FuzzParseSynthQuery does the same for the synthesis request parser.
+func FuzzParseSynthQuery(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42&n=1000&format=bin")
+	f.Add("format=csv")
+	f.Add("seed=-1")
+	f.Add("n=18446744073709551615")
+	f.Add("format=xml")
+	f.Add("seed=42&seed=43")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		o, err := ParseSynthOptions(q)
+		if err != nil {
+			return
+		}
+		if o.Format != FormatBin && o.Format != FormatCSV {
+			t.Fatalf("accepted unknown format %q", o.Format)
+		}
+	})
+}

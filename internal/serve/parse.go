@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"repro/internal/partition"
+)
+
+// Upload kinds and synthesis formats accepted by the API.
+const (
+	KindProfile = "profile"
+	KindTrace   = "trace"
+
+	FormatBin = "bin"
+	FormatCSV = "csv"
+)
+
+// maxNameLen bounds the workload name accepted from a query string.
+const maxNameLen = 256
+
+// UploadOptions are the parsed query parameters of POST /v1/profiles.
+type UploadOptions struct {
+	// Kind selects what the request body carries: a pre-fit profile
+	// ("profile", the default) or a raw trace ("trace") the server fits
+	// in-process.
+	Kind string
+	// Name labels a fitted profile (kind=trace only; a pre-fit profile
+	// carries its own name).
+	Name string
+	// Partition is the partitioning configuration used for in-process
+	// fits, assembled from the temporal/interval/spatial parameters
+	// with the same defaults as the offline CLI (cycles / 500000 /
+	// dynamic), so a server-side fit of a trace produces the identical
+	// profile to `mocktails profile` with default flags.
+	Partition partition.Config
+}
+
+// ParseUploadOptions validates the query parameters of an upload
+// request. Unknown parameters are rejected, so a typo (e.g. "intervall")
+// fails loudly instead of silently fitting with defaults.
+func ParseUploadOptions(q url.Values) (UploadOptions, error) {
+	if err := checkKnownKeys(q, "kind", "name", "temporal", "interval", "spatial"); err != nil {
+		return UploadOptions{}, err
+	}
+	o := UploadOptions{Kind: KindProfile, Name: "workload"}
+	if v := q.Get("kind"); v != "" {
+		if v != KindProfile && v != KindTrace {
+			return UploadOptions{}, fmt.Errorf("bad kind %q: want %q or %q", v, KindProfile, KindTrace)
+		}
+		o.Kind = v
+	}
+	if v := q.Get("name"); v != "" {
+		if len(v) > maxNameLen {
+			return UploadOptions{}, fmt.Errorf("name longer than %d bytes", maxNameLen)
+		}
+		o.Name = v
+	}
+
+	temporal := q.Get("temporal")
+	if temporal == "" {
+		temporal = "cycles"
+	}
+	interval := uint64(500000)
+	if v := q.Get("interval"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			return UploadOptions{}, fmt.Errorf("bad interval %q: want a positive integer", v)
+		}
+		interval = n
+	}
+	var layers []partition.Layer
+	switch temporal {
+	case "cycles":
+		layers = append(layers, partition.Layer{Kind: partition.TemporalCycleCount, Param: interval})
+	case "requests":
+		layers = append(layers, partition.Layer{Kind: partition.TemporalRequestCount, Param: interval})
+	default:
+		return UploadOptions{}, fmt.Errorf("bad temporal %q: want \"cycles\" or \"requests\"", temporal)
+	}
+	spatial := q.Get("spatial")
+	if spatial == "" || spatial == "dynamic" {
+		layers = append(layers, partition.Layer{Kind: partition.SpatialDynamic})
+	} else {
+		bs, err := strconv.ParseUint(spatial, 10, 64)
+		if err != nil || bs == 0 {
+			return UploadOptions{}, fmt.Errorf("bad spatial %q: want \"dynamic\" or a positive block size", spatial)
+		}
+		layers = append(layers, partition.Layer{Kind: partition.SpatialFixed, Param: bs})
+	}
+	o.Partition = partition.Config{Layers: layers}
+	return o, nil
+}
+
+// SynthOptions are the parsed query parameters of
+// POST /v1/profiles/{id}/synth.
+type SynthOptions struct {
+	// Seed seeds the synthesis deterministically (default 42): the same
+	// (profile, seed, n, format) always streams the same bytes.
+	Seed uint64
+	// N truncates the stream to the first n requests (0 = the
+	// profile's full request count).
+	N uint64
+	// Format is FormatBin (default) or FormatCSV.
+	Format string
+}
+
+// ParseSynthOptions validates the query parameters of a synthesis
+// request.
+func ParseSynthOptions(q url.Values) (SynthOptions, error) {
+	if err := checkKnownKeys(q, "seed", "n", "format"); err != nil {
+		return SynthOptions{}, err
+	}
+	o := SynthOptions{Seed: 42, Format: FormatBin}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return SynthOptions{}, fmt.Errorf("bad seed %q: want an unsigned integer", v)
+		}
+		o.Seed = n
+	}
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return SynthOptions{}, fmt.Errorf("bad n %q: want an unsigned integer", v)
+		}
+		o.N = n
+	}
+	if v := q.Get("format"); v != "" {
+		if v != FormatBin && v != FormatCSV {
+			return SynthOptions{}, fmt.Errorf("bad format %q: want %q or %q", v, FormatBin, FormatCSV)
+		}
+		o.Format = v
+	}
+	return o, nil
+}
+
+func checkKnownKeys(q url.Values, known ...string) error {
+	for k := range q {
+		found := false
+		for _, want := range known {
+			if k == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown parameter %q", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Request-path metrics. Per-endpoint request/error counters are created
+// in NewServer ("serve.<endpoint>.requests/.errors"); per-endpoint
+// latency histograms come from the request spans
+// ("stage.serve.<endpoint>.ns").
+var (
+	mThrottled     = obs.NewCounter("serve.throttled")
+	mActiveStreams = obs.NewGauge("serve.active_streams")
+	mSynthStreamed = obs.NewCounter("serve.synth.requests_streamed")
+	mSynthBytes    = obs.NewHistogram("serve.synth.stream_bytes", obs.ScaleBytes)
+	mSynthCanceled = obs.NewCounter("serve.synth.canceled")
+	mFitsServed    = obs.NewCounter("serve.fit.traces_fitted")
+)
+
+// Config tunes a Server. The zero value selects the documented
+// defaults; a negative limit means unlimited.
+type Config struct {
+	// Shards is the profile-store shard count (0 = DefaultShards).
+	Shards int
+	// StoreBudget bounds the store's resident canonical-encoded profile
+	// bytes (0 = DefaultStoreBudget, < 0 = unlimited).
+	StoreBudget int64
+	// MaxStreams caps concurrent synthesis streams (0 = 128).
+	MaxStreams int
+	// MaxFits caps concurrent in-process fits — each fit saturates the
+	// worker pool, so a small cap protects latency (0 = 4).
+	MaxFits int
+	// MaxInflight caps total in-flight requests (0 = 512).
+	MaxInflight int
+	// MaxUploadBytes caps an upload's body size (0 = 1 GiB).
+	MaxUploadBytes int64
+	// FitTimeout bounds one in-process fit (0 = 2 minutes, < 0 = none).
+	FitTimeout time.Duration
+	// FitWorkers is the worker count handed to profile fitting
+	// (0 = the MOCKTAILS_PARALLELISM / GOMAXPROCS default).
+	FitWorkers int
+	// SynthWorkers is the chunk-refill worker count per synthesis
+	// stream (0 = 1, i.e. generate on the handler goroutine; output is
+	// bit-identical for any value).
+	SynthWorkers int
+	// Debug mounts the obs debug surface (net/http/pprof + expvar)
+	// under /debug/ on the server's own mux, reusing the one handler
+	// instead of opening a second listener.
+	Debug bool
+}
+
+// DefaultStoreBudget is the default profile-store byte budget (256 MiB
+// of canonical profile encoding).
+const DefaultStoreBudget = 256 << 20
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.StoreBudget == 0 {
+		c.StoreBudget = DefaultStoreBudget
+	}
+	if c.MaxStreams == 0 {
+		c.MaxStreams = 128
+	}
+	if c.MaxFits == 0 {
+		c.MaxFits = 4
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 512
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = 1 << 30
+	}
+	if c.FitTimeout == 0 {
+		c.FitTimeout = 2 * time.Minute
+	}
+	if c.SynthWorkers == 0 {
+		c.SynthWorkers = 1
+	}
+	return c
+}
+
+// Server is the mocktailsd HTTP API: a profile store fed by uploads
+// (pre-fit profiles, or traces fitted in-process) and a streaming
+// synthesis endpoint. Build one with NewServer and mount Handler.
+type Server struct {
+	cfg   Config
+	store *Store
+	mux   *http.ServeMux
+
+	global  *limiter
+	fits    *limiter
+	streams *limiter
+
+	active atomic.Int64
+}
+
+// NewServer returns a Server with the given configuration.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   NewStore(cfg.Shards, cfg.StoreBudget),
+		mux:     http.NewServeMux(),
+		global:  newLimiter(cfg.MaxInflight),
+		fits:    newLimiter(cfg.MaxFits),
+		streams: newLimiter(cfg.MaxStreams),
+	}
+	s.mux.HandleFunc("GET /healthz", s.endpoint("health", nil, s.handleHealth))
+	s.mux.HandleFunc("GET /v1/profiles", s.endpoint("list", nil, s.handleList))
+	s.mux.HandleFunc("POST /v1/profiles", s.endpoint("upload", s.fits, s.handleUpload))
+	s.mux.HandleFunc("GET /v1/profiles/{id}", s.endpoint("get", nil, s.handleGet))
+	s.mux.HandleFunc("POST /v1/profiles/{id}/synth", s.endpoint("synth", s.streams, s.handleSynth))
+	if cfg.Debug {
+		s.mux.Handle("/debug/", obs.DebugHandler())
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store returns the server's profile store.
+func (s *Server) Store() *Store { return s.store }
+
+// ActiveStreams returns the number of synthesis streams in flight.
+func (s *Server) ActiveStreams() int64 { return s.active.Load() }
+
+// statusWriter records the status code a handler wrote, for the
+// per-endpoint error counters, and forwards Flush so streaming handlers
+// keep working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// endpoint wraps a handler with the production plumbing every route
+// shares: the global and per-endpoint in-flight limits (429 +
+// Retry-After when exhausted), a request span feeding the per-endpoint
+// latency histogram, and request/error counters.
+func (s *Server) endpoint(name string, lim *limiter, h http.HandlerFunc) http.HandlerFunc {
+	reqs := obs.NewCounter("serve." + name + ".requests")
+	errs := obs.NewCounter("serve." + name + ".errors")
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.global.tryAcquire() {
+			throttle(w)
+			return
+		}
+		defer s.global.release()
+		if !lim.tryAcquire() {
+			throttle(w)
+			return
+		}
+		defer lim.release()
+		reqs.Inc()
+		ctx, sp := obs.Start(r.Context(), "serve."+name)
+		defer sp.End()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"profiles":       s.store.Len(),
+		"store_bytes":    s.store.Bytes(),
+		"active_streams": s.active.Load(),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"profiles": s.store.List()})
+}
+
+// uploadResponse is the body of a successful POST /v1/profiles.
+type uploadResponse struct {
+	Meta
+	Deduped bool `json:"deduped"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	opts, err := ParseUploadOptions(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	var p *profile.Profile
+	switch opts.Kind {
+	case KindProfile:
+		p, err = profile.ReadGzip(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "decoding profile: %v", err)
+			return
+		}
+	case KindTrace:
+		tr, rerr := trace.ReadGzip(body)
+		if rerr != nil {
+			writeError(w, http.StatusBadRequest, "decoding trace: %v", rerr)
+			return
+		}
+		// Fit in-process under the request context plus the fit
+		// timeout: a disconnected or timed-out client stops dispatching
+		// leaf fits instead of burning the worker pool.
+		fitCtx := r.Context()
+		if s.cfg.FitTimeout > 0 {
+			var cancel context.CancelFunc
+			fitCtx, cancel = context.WithTimeout(fitCtx, s.cfg.FitTimeout)
+			defer cancel()
+		}
+		p, err = core.Build(opts.Name, tr, opts.Partition, core.Workers(s.cfg.FitWorkers), core.BuildContext(fitCtx))
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusServiceUnavailable, "fit exceeded the %s timeout", s.cfg.FitTimeout)
+			return
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status is for the log only.
+			writeError(w, http.StatusBadRequest, "fit canceled")
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, "fitting trace: %v", err)
+			return
+		}
+		mFitsServed.Inc()
+	}
+	meta, added, err := s.store.Put(p)
+	if errors.Is(err, ErrStoreFull) {
+		writeError(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	status := http.StatusCreated
+	if !added {
+		status = http.StatusOK
+	}
+	obs.FromContext(r.Context()).Debug("profile stored",
+		"id", meta.ID, "name", meta.Name, "leaves", meta.Leaves, "deduped", !added)
+	writeJSON(w, status, uploadResponse{Meta: meta, Deduped: !added})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.URL.Query().Get("download") != "" {
+		pin, ok := s.store.Acquire(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no profile %q", id)
+			return
+		}
+		defer pin.Release()
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("X-Mocktails-Profile", id)
+		if err := profile.WriteGzip(w, pin.Profile()); err != nil {
+			obs.FromContext(r.Context()).Debug("profile download aborted", "id", id, "err", err)
+		}
+		return
+	}
+	meta, ok := s.store.Meta(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no profile %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+// flushWriter flushes the HTTP response after every write reaching it,
+// so a synthesis stream is delivered in bounded chunks (the streaming
+// encoders buffer 32 KiB internally) instead of accumulating
+// server-side.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func newFlushWriter(w http.ResponseWriter) *flushWriter {
+	f, _ := w.(http.Flusher)
+	return &flushWriter{w: w, f: f}
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+func (s *Server) handleSynth(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	opts, err := ParseSynthOptions(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pin, ok := s.store.Acquire(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no profile %q", id)
+		return
+	}
+	defer pin.Release()
+	p := pin.Profile()
+	count := uint64(p.Requests())
+	if opts.N > 0 && opts.N < count {
+		count = opts.N
+	}
+
+	ctx := r.Context()
+	src := synth.New(p, opts.Seed, synth.Workers(s.cfg.SynthWorkers), synth.Context(ctx))
+	defer src.Close()
+
+	mActiveStreams.Set(float64(s.active.Add(1)))
+	defer func() { mActiveStreams.Set(float64(s.active.Add(-1))) }()
+
+	w.Header().Set("X-Mocktails-Profile", id)
+	w.Header().Set("X-Mocktails-Requests", strconv.FormatUint(count, 10))
+	var written int64
+	var werr error
+	switch opts.Format {
+	case FormatBin:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(trace.BinaryEncodedSize(count), 10))
+		written, werr = trace.WriteBinaryStream(ctx, newFlushWriter(w), count, trace.Limit(src, count))
+	case FormatCSV:
+		w.Header().Set("Content-Type", "text/csv")
+		written, werr = trace.WriteCSVStream(ctx, newFlushWriter(w), trace.Limit(src, count))
+	}
+	mSynthBytes.Observe(written)
+	sp := obs.SpanFromContext(ctx)
+	sp.SetCount("requests", int64(count))
+	sp.SetCount("bytes", written)
+	switch {
+	case werr == nil:
+		mSynthStreamed.Add(count)
+	case errors.Is(werr, context.Canceled) || errors.Is(werr, context.DeadlineExceeded):
+		mSynthCanceled.Inc()
+		obs.FromContext(ctx).Debug("synth stream canceled", "id", id, "bytes", written)
+	default:
+		// The response has already started, so a status can't express
+		// the failure; abort the connection instead of sending a
+		// well-terminated truncated body the client would mistake for a
+		// complete stream.
+		obs.FromContext(ctx).Debug("synth stream aborted", "id", id, "bytes", written, "err", werr)
+		panic(http.ErrAbortHandler)
+	}
+}

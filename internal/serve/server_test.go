@@ -1,0 +1,469 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func gzProfileBody(t *testing.T, p *profile.Profile) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := profile.WriteGzip(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func gzTraceBody(t *testing.T, tr trace.Trace) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteGzip(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func uploadProfile(t *testing.T, ts *httptest.Server, p *profile.Profile) Meta {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/profiles", "application/gzip", gzProfileBody(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	var ur uploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	return ur.Meta
+}
+
+// offlineBin encodes what `mocktails synth -format bin` would emit for
+// (p, seed, n): the reference bytes a server stream must match.
+func offlineBin(t *testing.T, p *profile.Profile, seed uint64, n int) []byte {
+	t.Helper()
+	src := core.Synthesize(p, seed)
+	tr := trace.Collect(src, n)
+	if c, ok := src.(interface{ Close() }); ok {
+		c.Close()
+	}
+	var buf bytes.Buffer
+	if _, err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func offlineCSV(t *testing.T, p *profile.Profile, seed uint64, n int) []byte {
+	t.Helper()
+	src := core.Synthesize(p, seed)
+	tr := trace.Collect(src, n)
+	if c, ok := src.(interface{ Close() }); ok {
+		c.Close()
+	}
+	var buf bytes.Buffer
+	if _, err := trace.WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The core acceptance invariant: a streamed synthesis response is
+// byte-identical to the offline encoder's output for the same
+// (profile, seed, n, format).
+func TestSynthStreamMatchesOffline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	p := testProfile(t, 1)
+	meta := uploadProfile(t, ts, p)
+
+	cases := []struct {
+		query string
+		seed  uint64
+		n     int
+		csv   bool
+	}{
+		{"seed=42", 42, 0, false},
+		{"seed=7", 7, 0, false},
+		{"seed=7&n=100", 7, 100, false},
+		{"seed=42&format=csv", 42, 0, true},
+		{"seed=9&n=37&format=csv", 9, 37, true},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/profiles/"+meta.ID+"/synth?"+tc.query, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d err %v", tc.query, resp.StatusCode, err)
+		}
+		var want []byte
+		if tc.csv {
+			want = offlineCSV(t, p, tc.seed, tc.n)
+		} else {
+			want = offlineBin(t, p, tc.seed, tc.n)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: stream differs from offline output (%d vs %d bytes)", tc.query, len(got), len(want))
+		}
+		if !tc.csv {
+			if cl := resp.Header.Get("Content-Length"); cl != fmt.Sprint(len(want)) {
+				t.Fatalf("%s: Content-Length %s, want %d", tc.query, cl, len(want))
+			}
+		}
+		if id := resp.Header.Get("X-Mocktails-Profile"); id != meta.ID {
+			t.Fatalf("%s: X-Mocktails-Profile %q", tc.query, id)
+		}
+	}
+}
+
+// Uploading a raw trace has the server fit it in-process with the CLI's
+// default partitioning, so the resulting profile content-addresses
+// identically to a pre-fit upload of the same trace — the second upload
+// is a dedupe hit.
+func TestUploadTraceFitsAndDedupes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := testTrace(3, 300)
+
+	resp, err := http.Post(ts.URL+"/v1/profiles?kind=trace&name=w3", "application/gzip", gzTraceBody(t, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur uploadResponse
+	err = json.NewDecoder(resp.Body).Decode(&ur)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("trace upload: status %d err %v", resp.StatusCode, err)
+	}
+
+	p, err := core.Build("w3", tr, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID, _, err := ProfileID(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.ID != wantID {
+		t.Fatalf("server fit produced %s, offline fit %s — default params diverged", ur.ID, wantID)
+	}
+
+	resp2, err := http.Post(ts.URL+"/v1/profiles", "application/gzip", gzProfileBody(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur2 uploadResponse
+	err = json.NewDecoder(resp2.Body).Decode(&ur2)
+	resp2.Body.Close()
+	if err != nil || resp2.StatusCode != http.StatusOK || !ur2.Deduped || ur2.ID != wantID {
+		t.Fatalf("pre-fit re-upload: status %d deduped %v id %s err %v",
+			resp2.StatusCode, ur2.Deduped, ur2.ID, err)
+	}
+}
+
+func TestGetProfile(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	p := testProfile(t, 1)
+	meta := uploadProfile(t, ts, p)
+
+	resp, err := http.Get(ts.URL + "/v1/profiles/" + meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Meta
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || got != meta {
+		t.Fatalf("get meta: status %d got %+v want %+v", resp.StatusCode, got, meta)
+	}
+
+	// ?download= round-trips the stored profile bit-exactly.
+	resp, err = http.Get(ts.URL + "/v1/profiles/" + meta.ID + "?download=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := profile.ReadGzip(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtID, _, err := ProfileID(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtID != meta.ID {
+		t.Fatalf("downloaded profile re-addresses to %s, want %s", rtID, meta.ID)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/profiles/" + meta.ID + "/../escape")
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+func TestListAndHealth(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	uploadProfile(t, ts, testProfile(t, 1))
+	uploadProfile(t, ts, testProfile(t, 2))
+
+	resp, err := http.Get(ts.URL + "/v1/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr struct {
+		Profiles []Meta `json:"profiles"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&lr)
+	resp.Body.Close()
+	if err != nil || len(lr.Profiles) != 2 {
+		t.Fatalf("list: %d profiles err %v", len(lr.Profiles), err)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status        string `json:"status"`
+		Profiles      int    `json:"profiles"`
+		ActiveStreams int64  `json:"active_streams"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil || h.Status != "ok" || h.Profiles != 2 || h.ActiveStreams != 0 {
+		t.Fatalf("healthz: %+v err %v", h, err)
+	}
+	if s.ActiveStreams() != 0 {
+		t.Fatal("active streams leaked")
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	meta := uploadProfile(t, ts, testProfile(t, 1))
+
+	check := func(method, path string, body io.Reader, want int) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s %s: status %d, want %d", method, path, resp.StatusCode, want)
+		}
+	}
+
+	check("GET", "/v1/profiles/deadbeef", nil, http.StatusNotFound)
+	check("POST", "/v1/profiles/deadbeef/synth", nil, http.StatusNotFound)
+	check("POST", "/v1/profiles?kind=nonsense", strings.NewReader("x"), http.StatusBadRequest)
+	check("POST", "/v1/profiles?bogus=1", strings.NewReader("x"), http.StatusBadRequest)
+	check("POST", "/v1/profiles", strings.NewReader("not gzip"), http.StatusBadRequest)
+	check("POST", "/v1/profiles?kind=trace", strings.NewReader("not gzip"), http.StatusBadRequest)
+	check("POST", "/v1/profiles/"+meta.ID+"/synth?seed=abc", nil, http.StatusBadRequest)
+	check("POST", "/v1/profiles/"+meta.ID+"/synth?format=xml", nil, http.StatusBadRequest)
+	check("DELETE", "/v1/profiles/"+meta.ID, nil, http.StatusMethodNotAllowed)
+}
+
+// A profile larger than the whole store yields 507, not an eviction
+// loop.
+func TestUploadStoreFull(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 1, StoreBudget: 64})
+	resp, err := http.Post(ts.URL+"/v1/profiles", "application/gzip", gzProfileBody(t, testProfile(t, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("status %d, want 507", resp.StatusCode)
+	}
+}
+
+// Exhausting an endpoint limiter turns requests into deterministic
+// 429s carrying Retry-After, and releasing a slot restores service.
+func TestThrottle(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxStreams: 2})
+	meta := uploadProfile(t, ts, testProfile(t, 1))
+
+	for i := 0; i < 2; i++ {
+		if !s.streams.tryAcquire() {
+			t.Fatal("limiter refused below capacity")
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/profiles/"+meta.ID+"/synth", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	s.streams.release()
+	resp, err = http.Post(ts.URL+"/v1/profiles/"+meta.ID+"/synth", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after release: status %d, want 200", resp.StatusCode)
+	}
+	s.streams.release()
+}
+
+// refsOf reads the current pin count of a stored profile.
+func refsOf(s *Server, id string) int {
+	sh := s.store.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[id]
+	if !ok {
+		return -1
+	}
+	return e.refs
+}
+
+// A client that disconnects mid-stream stops the generator: the
+// profile's pin is released and the active-stream gauge returns to
+// zero shortly after the close.
+func TestSynthClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// A bigger trace so the stream (~6 MB encoded) far exceeds socket
+	// buffering: the server must block mid-write until the client reads.
+	p, err := core.Build("big", testTrace(1, 300_000), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := uploadProfile(t, ts, p)
+
+	resp, err := http.Post(ts.URL+"/v1/profiles/"+meta.ID+"/synth", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one chunk's worth, then hang up.
+	if _, err := io.ReadFull(resp.Body, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if got := refsOf(s, meta.ID); got != 1 {
+		t.Fatalf("mid-stream refs = %d, want 1", got)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for refsOf(s, meta.ID) != 0 || s.ActiveStreams() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream did not wind down: refs=%d active=%d",
+				refsOf(s, meta.ID), s.ActiveStreams())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The acceptance bar: at least 64 concurrent synthesis streams, all
+// byte-identical to the offline encoder, with no pins or active-stream
+// counts leaking afterwards. Run under -race in CI.
+func TestConcurrentStreams(t *testing.T) {
+	const streams = 64
+	s, ts := newTestServer(t, Config{MaxStreams: streams})
+	p := testProfile(t, 1)
+	meta := uploadProfile(t, ts, p)
+	want := offlineBin(t, p, 42, 0)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/profiles/"+meta.ID+"/synth?seed=42", "", nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			if !bytes.Equal(got, want) {
+				errs <- fmt.Errorf("stream differs from offline output")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := refsOf(s, meta.ID); got != 0 {
+		t.Fatalf("%d pins leaked", got)
+	}
+	if s.ActiveStreams() != 0 {
+		t.Fatal("active-stream gauge leaked")
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"123", 123, false},
+		{"1K", 1 << 10, false},
+		{"64MiB", 64 << 20, false},
+		{"2GB", 2 << 30, false},
+		{" 4 KiB ", 4 << 10, false},
+		{"1gib", 1 << 30, false},
+		{"-1", 0, true},
+		{"lots", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+}

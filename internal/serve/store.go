@@ -1,0 +1,305 @@
+// Package serve turns the Mocktails pipeline into a long-running
+// service: a sharded, reference-counted, content-addressed store of
+// statistical profiles plus an HTTP API that fits uploaded traces
+// in-process and streams synthetic traces chunk-by-chunk to clients.
+// The profile is exactly the artefact the paper argues is shareable
+// where the raw trace is not — a server holds it resident once and
+// amortises the fit across arbitrarily many cheap synthesis replays.
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/profile"
+)
+
+// Store metrics. Hits/misses count Acquire outcomes; uploads and
+// dedupe_hits count Put outcomes; evictions and rejected count the
+// byte-budget enforcement paths. The gauges track current occupancy.
+var (
+	mStoreHits     = obs.NewCounter("serve.store.hits")
+	mStoreMisses   = obs.NewCounter("serve.store.misses")
+	mStoreUploads  = obs.NewCounter("serve.store.uploads")
+	mStoreDedupe   = obs.NewCounter("serve.store.dedupe_hits")
+	mStoreEvicted  = obs.NewCounter("serve.store.evictions")
+	mStoreRejected = obs.NewCounter("serve.store.rejected")
+	mStoreBytes    = obs.NewGauge("serve.store.bytes")
+	mStoreProfiles = obs.NewGauge("serve.store.profiles")
+)
+
+// DefaultShards is the default shard count of a Store.
+const DefaultShards = 16
+
+// ErrStoreFull reports that a profile cannot be admitted because the
+// byte budget is exhausted and everything evictable has been evicted
+// (the remaining residents are pinned by in-flight streams, or the
+// profile alone exceeds a shard's budget).
+var ErrStoreFull = errors.New("serve: store budget exhausted")
+
+// Meta describes one stored profile. Bytes is the size of the profile's
+// canonical (uncompressed varint) encoding — the quantity the store's
+// byte budget is accounted in, and the basis of its content address.
+type Meta struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Config   string `json:"config"`
+	Leaves   int    `json:"leaves"`
+	Requests uint64 `json:"requests"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// entry is one resident profile. refs counts outstanding Pins; an entry
+// with refs > 0 is never evicted (a synthesis mid-stream must keep its
+// profile). elem is the entry's node in the shard's LRU list.
+type entry struct {
+	meta Meta
+	p    *profile.Profile
+	refs int
+	elem *list.Element
+}
+
+// shard is one lock domain of the store: a map for lookup plus an LRU
+// list (front = most recently used) for eviction, guarded by one
+// RWMutex. Each shard enforces its own slice of the byte budget, so
+// shards never coordinate and the store's total occupancy is bounded by
+// the sum of the per-shard budgets.
+type shard struct {
+	mu      sync.RWMutex
+	budget  int64
+	bytes   int64
+	entries map[string]*entry
+	lru     *list.List // of *entry
+}
+
+// Store is a sharded, reference-counted, content-addressed profile
+// cache. Profiles are keyed by the SHA-256 of their canonical encoding,
+// so identical uploads dedupe regardless of how they were produced
+// (pre-fit upload vs in-process fit of the same trace). All methods are
+// safe for concurrent use.
+type Store struct {
+	shards []shard
+
+	// totalBytes/totalCount mirror the summed shard occupancy for O(1)
+	// reads and gauge updates.
+	totalBytes atomic.Int64
+	totalCount atomic.Int64
+}
+
+// NewStore returns a store with nshards shards (<= 0 selects
+// DefaultShards) and a total byte budget (<= 0 means unlimited). The
+// budget is divided evenly across shards; because each shard enforces
+// its slice independently, the store as a whole never exceeds budget.
+func NewStore(nshards int, budget int64) *Store {
+	if nshards <= 0 {
+		nshards = DefaultShards
+	}
+	s := &Store{shards: make([]shard, nshards)}
+	per := int64(0)
+	if budget > 0 {
+		per = budget / int64(nshards)
+		if per == 0 {
+			per = 1
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].budget = per
+		s.shards[i].entries = make(map[string]*entry)
+		s.shards[i].lru = list.New()
+	}
+	return s
+}
+
+// ProfileID returns the store's content address for p — the hex SHA-256
+// of its canonical encoding — along with the encoded size in bytes. The
+// encoding streams through the hash; nothing is buffered.
+func ProfileID(p *profile.Profile) (id string, size int64, err error) {
+	h := sha256.New()
+	cw := &countingHashWriter{w: h}
+	if err := profile.Write(cw, p); err != nil {
+		return "", 0, fmt.Errorf("serve: encoding profile for addressing: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), cw.n, nil
+}
+
+type countingHashWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingHashWriter) Write(b []byte) (int, error) {
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	return n, err
+}
+
+// shardFor maps a profile ID to its shard by FNV-1a.
+func (s *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, id)
+	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Put admits p, returning its metadata and whether it was newly added
+// (false means an identical profile was already resident — a dedupe
+// hit, which refreshes the entry's recency instead). When the shard is
+// over budget, least-recently-used unpinned entries are evicted to make
+// room; if that cannot free enough space, Put returns ErrStoreFull and
+// the store is left unchanged.
+func (s *Store) Put(p *profile.Profile) (Meta, bool, error) {
+	id, size, err := ProfileID(p)
+	if err != nil {
+		return Meta{}, false, err
+	}
+	meta := Meta{
+		ID:       id,
+		Name:     p.Name,
+		Config:   p.Config,
+		Leaves:   len(p.Leaves),
+		Requests: uint64(p.Requests()),
+		Bytes:    size,
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[id]; ok {
+		sh.lru.MoveToFront(e.elem)
+		mStoreDedupe.Inc()
+		return e.meta, false, nil
+	}
+	if sh.budget > 0 {
+		if size > sh.budget {
+			mStoreRejected.Inc()
+			return Meta{}, false, fmt.Errorf("%w: profile is %d bytes, shard budget is %d", ErrStoreFull, size, sh.budget)
+		}
+		// Evict from the LRU tail, skipping pinned entries: a profile
+		// feeding an in-flight stream must stay resident.
+		for sh.bytes+size > sh.budget {
+			if !s.evictOne(sh) {
+				mStoreRejected.Inc()
+				return Meta{}, false, fmt.Errorf("%w: %d bytes resident are pinned by active streams", ErrStoreFull, sh.bytes)
+			}
+		}
+	}
+	e := &entry{meta: meta, p: p}
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[id] = e
+	sh.bytes += size
+	s.totalBytes.Add(size)
+	s.totalCount.Add(1)
+	mStoreUploads.Inc()
+	s.updateGauges()
+	return meta, true, nil
+}
+
+// evictOne removes the least-recently-used unpinned entry of sh,
+// reporting whether anything could be evicted. Caller holds sh.mu.
+func (s *Store) evictOne(sh *shard) bool {
+	for el := sh.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e.refs > 0 {
+			continue
+		}
+		sh.lru.Remove(el)
+		delete(sh.entries, e.meta.ID)
+		sh.bytes -= e.meta.Bytes
+		s.totalBytes.Add(-e.meta.Bytes)
+		s.totalCount.Add(-1)
+		mStoreEvicted.Inc()
+		s.updateGauges()
+		return true
+	}
+	return false
+}
+
+// Pin is a reference to a resident profile. The profile is guaranteed
+// to stay resident (never evicted) until Release; Release is safe to
+// call more than once.
+type Pin struct {
+	s    *Store
+	sh   *shard
+	e    *entry
+	once sync.Once
+}
+
+// Acquire pins the profile with the given ID, bumping its recency. The
+// second return is false when no such profile is resident.
+func (s *Store) Acquire(id string) (*Pin, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[id]
+	if !ok {
+		mStoreMisses.Inc()
+		return nil, false
+	}
+	e.refs++
+	sh.lru.MoveToFront(e.elem)
+	mStoreHits.Inc()
+	return &Pin{s: s, sh: sh, e: e}, true
+}
+
+// Profile returns the pinned profile. The caller must not mutate it —
+// the same value is shared by every concurrent stream.
+func (p *Pin) Profile() *profile.Profile { return p.e.p }
+
+// Meta returns the pinned profile's metadata.
+func (p *Pin) Meta() Meta { return p.e.meta }
+
+// Release drops the pin, making the profile evictable again once no
+// other pins remain.
+func (p *Pin) Release() {
+	p.once.Do(func() {
+		p.sh.mu.Lock()
+		p.e.refs--
+		p.sh.mu.Unlock()
+	})
+}
+
+// Meta returns the metadata of the profile with the given ID without
+// pinning it or touching its recency.
+func (s *Store) Meta(id string) (Meta, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[id]
+	if !ok {
+		return Meta{}, false
+	}
+	return e.meta, true
+}
+
+// List returns the metadata of every resident profile, ordered by ID.
+func (s *Store) List() []Meta {
+	var all []Meta
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			all = append(all, e.meta)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}
+
+// Bytes returns the total canonical-encoded bytes resident.
+func (s *Store) Bytes() int64 { return s.totalBytes.Load() }
+
+// Len returns the number of resident profiles.
+func (s *Store) Len() int { return int(s.totalCount.Load()) }
+
+func (s *Store) updateGauges() {
+	mStoreBytes.Set(float64(s.totalBytes.Load()))
+	mStoreProfiles.Set(float64(s.totalCount.Load()))
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -25,27 +26,28 @@ const (
 	recordSize   = 8 + 8 + 4 + 1
 )
 
-// WriteBinary writes the trace in the repository's binary record format.
-func WriteBinary(w io.Writer, t Trace) error {
-	bw := bufio.NewWriter(w)
-	var hdr [16]byte
-	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(t)))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return err
-	}
-	var rec [recordSize]byte
-	for _, r := range t {
-		binary.LittleEndian.PutUint64(rec[0:], r.Time)
-		binary.LittleEndian.PutUint64(rec[8:], r.Addr)
-		binary.LittleEndian.PutUint32(rec[16:], r.Size)
-		rec[20] = byte(r.Op)
-		if _, err := bw.Write(rec[:]); err != nil {
-			return err
+// WriteBinary writes the trace in the repository's binary record format
+// and returns the number of bytes written to w.
+func WriteBinary(w io.Writer, t Trace) (int64, error) {
+	return WriteBinaryCtx(nil, w, t)
+}
+
+// WriteBinaryCtx is WriteBinary with cooperative cancellation: the write
+// loop checks ctx every cancelCheckEvery records, so a consumer that has
+// gone away (a disconnected HTTP client, a canceled request) aborts a
+// long encode promptly instead of running to completion. A nil ctx never
+// cancels. The returned count is the bytes that reached w, so callers
+// can meter egress even on a partial write.
+func WriteBinaryCtx(ctx context.Context, w io.Writer, t Trace) (int64, error) {
+	i := 0
+	return WriteBinaryStream(ctx, w, uint64(len(t)), func() (Request, bool) {
+		if i >= len(t) {
+			return Request{}, false
 		}
-	}
-	return bw.Flush()
+		r := t[i]
+		i++
+		return r, true
+	})
 }
 
 // ReadBinary reads a trace written by WriteBinary.
@@ -101,7 +103,8 @@ func WriteGzip(w io.Writer, t Trace) error {
 	zw := gzip.NewWriter(w)
 	pr, pw := par.NewPipe(0, 0)
 	go func() {
-		pw.CloseWithError(WriteBinary(pw, t))
+		_, err := WriteBinary(pw, t)
+		pw.CloseWithError(err)
 	}()
 	if _, err := io.Copy(zw, pr); err != nil {
 		pr.Close()
@@ -134,20 +137,27 @@ func ReadGzip(r io.Reader) (Trace, error) {
 	return t, err
 }
 
-// WriteCSV writes the trace as "time,op,addr,size" lines with a header.
-// Addresses are hexadecimal. The format is intended for interchange with
-// external tools and for human inspection.
-func WriteCSV(w io.Writer, t Trace) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "time,op,addr,size"); err != nil {
-		return err
-	}
-	for _, r := range t {
-		if _, err := fmt.Fprintf(bw, "%d,%s,%x,%d\n", r.Time, r.Op, r.Addr, r.Size); err != nil {
-			return err
+// WriteCSV writes the trace as "time,op,addr,size" lines with a header
+// and returns the number of bytes written. Addresses are hexadecimal.
+// The format is intended for interchange with external tools and for
+// human inspection.
+func WriteCSV(w io.Writer, t Trace) (int64, error) {
+	return WriteCSVCtx(nil, w, t)
+}
+
+// WriteCSVCtx is WriteCSV with cooperative cancellation, mirroring
+// WriteBinaryCtx: the loop checks ctx every cancelCheckEvery lines and
+// the returned count is the bytes that reached w.
+func WriteCSVCtx(ctx context.Context, w io.Writer, t Trace) (int64, error) {
+	i := 0
+	return WriteCSVStream(ctx, w, func() (Request, bool) {
+		if i >= len(t) {
+			return Request{}, false
 		}
-	}
-	return bw.Flush()
+		r := t[i]
+		i++
+		return r, true
+	})
 }
 
 // ReadCSV reads a trace written by WriteCSV. Blank lines are ignored and a

@@ -31,7 +31,7 @@ func randomTrace(rng *rand.Rand, n int) Trace {
 func TestBinaryRoundTrip(t *testing.T) {
 	tr := randomTrace(rand.New(rand.NewSource(1)), 500)
 	var buf bytes.Buffer
-	if err := WriteBinary(&buf, tr); err != nil {
+	if _, err := WriteBinary(&buf, tr); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadBinary(&buf)
@@ -45,7 +45,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 
 func TestBinaryRoundTripEmpty(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteBinary(&buf, nil); err != nil {
+	if _, err := WriteBinary(&buf, nil); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadBinary(&buf)
@@ -79,7 +79,7 @@ func TestGzipCompresses(t *testing.T) {
 		tr[i] = Request{Time: uint64(i) * 10, Addr: uint64(i) * 64, Size: 64, Op: Read}
 	}
 	var raw, gz bytes.Buffer
-	if err := WriteBinary(&raw, tr); err != nil {
+	if _, err := WriteBinary(&raw, tr); err != nil {
 		t.Fatal(err)
 	}
 	if err := WriteGzip(&gz, tr); err != nil {
@@ -93,7 +93,7 @@ func TestGzipCompresses(t *testing.T) {
 func TestCSVRoundTrip(t *testing.T) {
 	tr := randomTrace(rand.New(rand.NewSource(3)), 200)
 	var buf bytes.Buffer
-	if err := WriteCSV(&buf, tr); err != nil {
+	if _, err := WriteCSV(&buf, tr); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadCSV(&buf)
@@ -142,7 +142,7 @@ func TestReadBinaryRejectsCorruptHeader(t *testing.T) {
 func TestReadBinaryRejectsTruncatedBody(t *testing.T) {
 	tr := randomTrace(rand.New(rand.NewSource(4)), 10)
 	var buf bytes.Buffer
-	if err := WriteBinary(&buf, tr); err != nil {
+	if _, err := WriteBinary(&buf, tr); err != nil {
 		t.Fatal(err)
 	}
 	b := buf.Bytes()
@@ -154,7 +154,7 @@ func TestReadBinaryRejectsTruncatedBody(t *testing.T) {
 func TestReadBinaryRejectsBadOp(t *testing.T) {
 	tr := Trace{{Time: 1, Addr: 2, Size: 3, Op: Read}}
 	var buf bytes.Buffer
-	if err := WriteBinary(&buf, tr); err != nil {
+	if _, err := WriteBinary(&buf, tr); err != nil {
 		t.Fatal(err)
 	}
 	b := buf.Bytes()
@@ -176,7 +176,7 @@ func TestBinaryRoundTripProperty(t *testing.T) {
 			tr[i] = Request{Time: uint64(tm), Addr: rng.Uint64(), Size: uint32(rng.Intn(1024) + 1), Op: op}
 		}
 		var buf bytes.Buffer
-		if err := WriteBinary(&buf, tr); err != nil {
+		if _, err := WriteBinary(&buf, tr); err != nil {
 			return false
 		}
 		got, err := ReadBinary(&buf)

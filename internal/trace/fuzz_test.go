@@ -12,7 +12,7 @@ import (
 // (the decoder and encoder agree on the format).
 func FuzzReadBinary(f *testing.F) {
 	var buf bytes.Buffer
-	if err := WriteBinary(&buf, Trace{
+	if _, err := WriteBinary(&buf, Trace{
 		{Time: 1, Addr: 0x1000, Size: 64, Op: Read},
 		{Time: 2, Addr: 0x1040, Size: 128, Op: Write},
 	}); err != nil {
@@ -27,7 +27,7 @@ func FuzzReadBinary(f *testing.F) {
 			return
 		}
 		var out bytes.Buffer
-		if err := WriteBinary(&out, tr); err != nil {
+		if _, err := WriteBinary(&out, tr); err != nil {
 			t.Fatalf("re-encoding accepted trace: %v", err)
 		}
 		tr2, err := ReadBinary(&out)
@@ -53,7 +53,7 @@ func FuzzReadCSV(f *testing.F) {
 			return
 		}
 		var out bytes.Buffer
-		if err := WriteCSV(&out, tr); err != nil {
+		if _, err := WriteCSV(&out, tr); err != nil {
 			t.Fatalf("re-encoding accepted trace: %v", err)
 		}
 		tr2, err := ReadCSV(&out)
@@ -84,7 +84,7 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 			})
 		}
 		var bin bytes.Buffer
-		if err := WriteBinary(&bin, tr); err != nil {
+		if _, err := WriteBinary(&bin, tr); err != nil {
 			t.Fatal(err)
 		}
 		got, err := ReadBinary(&bin)
