@@ -11,10 +11,13 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
@@ -22,8 +25,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hrd"
 	"repro/internal/partition"
+	"repro/internal/profile"
 	"repro/internal/serve"
 	"repro/internal/stm"
+	"repro/internal/synth"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -185,6 +190,26 @@ func BenchmarkSynthesize(b *testing.B) {
 			}
 			b.SetBytes(int64(len(tr)))
 		})
+		flatBuf, err := profile.MarshalFlat(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := profile.OpenFlat(flatBuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.size+"/flat-serial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src := synth.NewFrom(f, uint64(i))
+				got := trace.Collect(src, 0)
+				src.Close()
+				if len(got) != len(tr) {
+					b.Fatal("short synthesis")
+				}
+			}
+			b.SetBytes(int64(len(tr)))
+		})
 		for _, w := range workerCounts[1:] {
 			b.Run(fmt.Sprintf("%s/workers=%d", c.size, w), func(b *testing.B) {
 				b.ReportAllocs()
@@ -196,6 +221,71 @@ func BenchmarkSynthesize(b *testing.B) {
 				b.SetBytes(int64(len(tr)))
 			})
 		}
+	}
+}
+
+// BenchmarkProfileOpen compares the cost of bringing a stored profile to
+// a servable state per encoding, tracked in BENCH_profile.json. The gz
+// rows decompress and decode the full heap representation; the flat rows
+// validate the header and slice section tables out of the buffer (or
+// mmap the file), independent of profile size.
+func BenchmarkProfileOpen(b *testing.B) {
+	cases := []struct{ size, workload string }{
+		{"small", "OpenCL1"},
+		{"large", "Manhattan"},
+	}
+	for _, c := range cases {
+		s, err := workloads.Find(c.workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := core.Build(c.workload, s.Gen(), core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gz bytes.Buffer
+		if err := profile.WriteGzip(&gz, p); err != nil {
+			b.Fatal(err)
+		}
+		flatBuf, err := profile.MarshalFlat(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(b.TempDir(), "p.mfp")
+		if err := os.WriteFile(path, flatBuf, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.size+"/decode-gz", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dp, err := profile.ReadGzip(bytes.NewReader(gz.Bytes()))
+				if err != nil || dp.NumLeaves() != p.NumLeaves() {
+					b.Fatalf("decode: %v", err)
+				}
+			}
+			b.SetBytes(int64(gz.Len()))
+		})
+		b.Run(c.size+"/open-flat", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f, err := profile.OpenFlat(flatBuf)
+				if err != nil || f.NumLeaves() != p.NumLeaves() {
+					b.Fatalf("open: %v", err)
+				}
+			}
+			b.SetBytes(int64(len(flatBuf)))
+		})
+		b.Run(c.size+"/open-flat-mmap", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f, err := profile.OpenFlatFile(path, profile.FlatNoVerify())
+				if err != nil || f.NumLeaves() != p.NumLeaves() {
+					b.Fatalf("open: %v", err)
+				}
+				f.Close()
+			}
+			b.SetBytes(int64(len(flatBuf)))
+		})
 	}
 }
 
@@ -219,7 +309,10 @@ func BenchmarkServeSynth(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		srv := serve.NewServer(serve.Config{})
+		srv, err := serve.NewServer(serve.Config{DiskDir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
 		meta, _, err := srv.Store().Put(p)
 		if err != nil {
 			b.Fatal(err)
@@ -227,18 +320,35 @@ func BenchmarkServeSynth(b *testing.B) {
 		ts := httptest.NewServer(srv.Handler())
 		url := ts.URL + "/v1/profiles/" + meta.ID + "/synth?seed="
 		want := trace.BinaryEncodedSize(uint64(p.Requests()))
+		stream := func(b *testing.B, i int) {
+			resp, err := http.Post(url+fmt.Sprint(i), "", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK || n != want {
+				b.Fatalf("stream: status %d, %d of %d bytes, err %v", resp.StatusCode, n, want, err)
+			}
+		}
 		b.Run(c.size, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				resp, err := http.Post(url+fmt.Sprint(i), "", nil)
-				if err != nil {
-					b.Fatal(err)
+				stream(b, i)
+			}
+			b.SetBytes(want)
+		})
+		// Cold hit: every iteration demotes the profile to the disk tier
+		// first, so the request pays promotion (mmap, no decode) on top
+		// of synthesis. The tiered-store design goal is that this stays
+		// close to the warm row above.
+		b.Run(c.size+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !srv.Store().Demote(meta.ID) {
+					b.Fatal("demote refused")
 				}
-				n, err := io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if err != nil || resp.StatusCode != http.StatusOK || n != want {
-					b.Fatalf("stream: status %d, %d of %d bytes, err %v", resp.StatusCode, n, want, err)
-				}
+				stream(b, i)
 			}
 			b.SetBytes(want)
 		})

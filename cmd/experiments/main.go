@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +30,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
 // benchRow is one -bench-json record, mirroring testing.B's key metrics.
@@ -114,15 +117,20 @@ func unknown(id string) {
 
 // synthBench measures synthesis throughput on the two tracked profiles
 // (the same cases as BenchmarkSynthesize and BENCH_synth.json) and
-// returns one row per case.
+// returns one row per case. The flat rows synthesize from the zero-copy
+// flat encoding instead of the heap profile; the output is byte-identical,
+// only setup cost and allocation behaviour differ.
 func synthBench(env *experiments.Env) []benchRow {
 	cases := []struct {
 		name, workload string
 		workers        int
+		flat           bool
 	}{
-		{"synth/small/serial", "OpenCL1", 1},
-		{"synth/large/serial", "Manhattan", 1},
-		{"synth/large/j", "Manhattan", par.Default()},
+		{"synth/small/serial", "OpenCL1", 1, false},
+		{"synth/small/flat", "OpenCL1", 1, true},
+		{"synth/large/serial", "Manhattan", 1, false},
+		{"synth/large/flat", "Manhattan", 1, true},
+		{"synth/large/j", "Manhattan", par.Default(), false},
 	}
 	var rows []benchRow
 	var before, after runtime.MemStats
@@ -132,12 +140,30 @@ func synthBench(env *experiments.Env) []benchRow {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		core.SynthesizeTrace(p, 0, core.SynthWorkers(c.workers)) // warm up
+		var v profile.View = p
+		if c.flat {
+			buf, err := profile.MarshalFlat(p)
+			if err == nil {
+				var f *profile.Flat
+				if f, err = profile.OpenFlat(buf); err == nil {
+					v = f
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+		run := func(seed uint64) {
+			src := core.SynthesizeFrom(v, seed, core.SynthWorkers(c.workers))
+			trace.Collect(src, 0)
+		}
+		run(0) // warm up
 		const iters = 10
 		runtime.ReadMemStats(&before)
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			core.SynthesizeTrace(p, uint64(i), core.SynthWorkers(c.workers))
+			run(uint64(i))
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
@@ -147,6 +173,70 @@ func synthBench(env *experiments.Env) []benchRow {
 			Allocs:  (after.Mallocs - before.Mallocs) / iters,
 		})
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", c.name, (elapsed / iters).Round(time.Microsecond))
+	}
+	return rows
+}
+
+// profileBench measures the cost of bringing a stored profile to a
+// servable state per encoding: a full gz decode versus a flat open
+// (header validation plus section-table slicing, no per-leaf work).
+// Rows are tracked in BENCH_profile.json.
+func profileBench(env *experiments.Env) []benchRow {
+	cases := []struct{ size, workload string }{
+		{"small", "OpenCL1"},
+		{"large", "Manhattan"},
+	}
+	var rows []benchRow
+	var before, after runtime.MemStats
+	for _, c := range cases {
+		p, err := core.Build(c.workload, env.Trace(c.workload), core.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		var gz bytes.Buffer
+		if err := profile.WriteGzip(&gz, p); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		flatBuf, err := profile.MarshalFlat(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		variants := []struct {
+			name string
+			open func() error
+		}{
+			{"profile/" + c.size + "/decode-gz", func() error {
+				_, err := profile.ReadGzip(bytes.NewReader(gz.Bytes()))
+				return err
+			}},
+			{"profile/" + c.size + "/open-flat", func() error {
+				_, err := profile.OpenFlat(flatBuf)
+				return err
+			}},
+		}
+		for _, v := range variants {
+			if err := v.open(); err != nil { // warm up
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			const iters = 50
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				v.open()
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			rows = append(rows, benchRow{
+				Name:    v.name,
+				NsPerOp: elapsed.Nanoseconds() / iters,
+				Allocs:  (after.Mallocs - before.Mallocs) / iters,
+			})
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", v.name, (elapsed / iters).Round(time.Microsecond))
+		}
 	}
 	return rows
 }
@@ -179,6 +269,7 @@ func runBench(env *experiments.Env, ids []string, w io.Writer, path string) {
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, elapsed.Round(time.Millisecond))
 	}
 	rows = append(rows, synthBench(env)...)
+	rows = append(rows, profileBench(env)...)
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

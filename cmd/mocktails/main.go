@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	mocktails profile -in workload.trace.gz -out workload.profile.gz [-interval 500000] [-spatial dynamic|4096] [-j N]
+//	mocktails profile -in workload.trace.gz -out workload.profile.gz [-format gz|flat] [-interval 500000] [-spatial dynamic|4096] [-j N]
 //	mocktails synth   -in workload.profile.gz -out synthetic.trace.gz [-seed 42] [-n N] [-format gz|bin|csv] [-j N] [-batch N]
+//	mocktails convert -in workload.profile.gz -out workload.mfp [-to gz|flat]
 //	mocktails serve   [-addr localhost:8677] [-store-budget 256MiB] ...
 //	mocktails stats   -in workload.trace.gz
 //	mocktails simulate -in workload.trace.gz
@@ -19,8 +20,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -41,6 +44,8 @@ func main() {
 		cmdProfile(os.Args[2:])
 	case "synth":
 		cmdSynth(os.Args[2:])
+	case "convert":
+		cmdConvert(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
 	case "simulate":
@@ -61,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|stats|simulate|analyze|compare|inspect|check|serve} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|convert|stats|simulate|analyze|compare|inspect|check|serve} [flags]")
 	os.Exit(2)
 }
 
@@ -76,16 +81,43 @@ func cmdInspect(args []string) {
 	if *in == "" {
 		fatal(fmt.Errorf("inspect: need -in"))
 	}
-	f, err := os.Open(*in)
+	profile.Dump(os.Stdout, readProfile(*in), *leaves)
+}
+
+// isFlatFile sniffs whether path holds a flat-encoded profile.
+func isFlatFile(path string) bool {
+	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return false
 	}
 	defer f.Close()
-	p, err := profile.ReadGzip(f)
+	var hdr [8]byte
+	n, _ := io.ReadFull(f, hdr[:])
+	return profile.SniffFlat(hdr[:n])
+}
+
+// readProfile loads a profile in either encoding — gzip canonical or
+// flat — detecting the format from the file contents, and returns it
+// as a heap profile.
+func readProfile(path string) *profile.Profile {
+	if isFlatFile(path) {
+		f, err := profile.OpenFlatFile(path)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		defer f.Close()
+		return f.Profile()
+	}
+	fh, err := os.Open(path)
 	if err != nil {
 		fatal(err)
 	}
-	profile.Dump(os.Stdout, p, *leaves)
+	defer fh.Close()
+	p, err := profile.ReadGzip(fh)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return p
 }
 
 func fatal(err error) {
@@ -147,11 +179,15 @@ func cmdProfile(args []string) {
 	mode := fs.String("temporal", "cycles", "temporal scheme: cycles or requests")
 	spatial := fs.String("spatial", "dynamic", "spatial scheme: dynamic or a block size in bytes")
 	name := fs.String("name", "workload", "workload name stored in the profile")
+	format := fs.String("format", "gz", "output profile encoding: gz (portable canonical) or flat (zero-copy, mmap-able)")
 	workers := fs.Int("j", 0, "leaf-fitting workers (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS); any value gives identical output")
 	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("profile: need -in and -out"))
+	}
+	if *format != "gz" && *format != "flat" {
+		fatal(fmt.Errorf("profile: unknown -format %q (want gz or flat)", *format))
 	}
 
 	cfg, err := parseConfig(*mode, *interval, *spatial)
@@ -176,11 +212,56 @@ func cmdProfile(args []string) {
 		fatal(err)
 	}
 	defer f.Close()
-	if err := profile.WriteGzip(f, p); err != nil {
+	if *format == "flat" {
+		err = profile.WriteFlat(f, p)
+	} else {
+		err = profile.WriteGzip(f, p)
+	}
+	if err != nil {
 		fatal(err)
 	}
 	wsp.End()
 	fmt.Println(p)
+}
+
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input profile (gz or flat, auto-detected)")
+	out := fs.String("out", "", "output profile")
+	to := fs.String("to", "", "output encoding: gz or flat (default: flat when -out ends in .mfp, else gz)")
+	of := obs.RegisterFlags(fs)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("convert: need -in and -out"))
+	}
+	target := *to
+	if target == "" {
+		if strings.HasSuffix(*out, ".mfp") {
+			target = "flat"
+		} else {
+			target = "gz"
+		}
+	}
+	if target != "gz" && target != "flat" {
+		fatal(fmt.Errorf("convert: unknown -to %q (want gz or flat)", target))
+	}
+	_, stop := of.Start("mocktails.convert")
+	defer stop()
+	p := readProfile(*in)
+	o, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer o.Close()
+	if target == "flat" {
+		err = profile.WriteFlat(o, p)
+	} else {
+		err = profile.WriteGzip(o, p)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("converted %s (%d leaves) to %s encoding: %s\n", *in, len(p.Leaves), target, *out)
 }
 
 func cmdSynth(args []string) {
@@ -202,24 +283,40 @@ func cmdSynth(args []string) {
 	}
 	ctx, stop := of.Start("mocktails.synth")
 	defer stop()
+	// The input encoding is sniffed, not configured: a flat profile is
+	// memory-mapped and synthesized directly from the mapping (open cost
+	// is the header parse); a gz profile is decoded to the heap. Output
+	// is byte-identical either way.
 	_, lsp := obs.Start(ctx, "load")
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
+	var v profile.View
+	var name string
+	if isFlatFile(*in) {
+		fp, err := profile.OpenFlatFile(*in)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *in, err))
+		}
+		defer fp.Close()
+		v, name = fp, fp.Name()
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := profile.ReadGzip(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		v, name = p, p.Name
 	}
-	p, err := profile.ReadGzip(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	lsp.SetCount("leaves", int64(len(p.Leaves)))
+	lsp.SetCount("leaves", int64(v.NumLeaves()))
 	lsp.End()
 	j := *workers
 	if j <= 0 {
 		j = par.Default()
 	}
 	sctx, ssp := obs.Start(ctx, "synth")
-	src := core.Synthesize(p, *seed, core.SynthWorkers(j), core.SynthBatch(*batch), core.SynthContext(sctx))
+	src := core.SynthesizeFrom(v, *seed, core.SynthWorkers(j), core.SynthBatch(*batch), core.SynthContext(sctx))
 	t := trace.Collect(src, int(*n))
 	if c, ok := src.(interface{ Close() }); ok {
 		c.Close() // release refill workers when -n truncated the stream
@@ -244,7 +341,7 @@ func cmdSynth(args []string) {
 		fatal(err)
 	}
 	wsp.End()
-	fmt.Printf("synthesised %d requests from %s\n", len(t), p.Name)
+	fmt.Printf("synthesised %d requests from %s\n", len(t), name)
 }
 
 func cmdStats(args []string) {

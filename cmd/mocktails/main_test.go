@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -212,4 +213,98 @@ func TestCLICheckFailsOnBadTrace(t *testing.T) {
 	if code != 1 {
 		t.Errorf("corrupt input: exit %d, want 1; output:\n%s", code, out)
 	}
+}
+
+// TestCLIFlatFormat drives the flat encoding through every CLI path:
+// profile -format flat produces an openable flat file, convert moves
+// between encodings (with -to inferred from the .mfp extension),
+// inspect auto-detects, and synth from the flat profile emits exactly
+// the bytes the gz profile does.
+func TestCLIFlatFormat(t *testing.T) {
+	dir := t.TempDir()
+	in := tinyTrace(t, dir)
+	gzProf := filepath.Join(dir, "tiny.profile.gz")
+	flatProf := filepath.Join(dir, "tiny.mfp")
+
+	if out, code := runSelf(t, "profile", "-in", in, "-out", gzProf, "-interval", "5000", "-name", "tiny"); code != 0 {
+		t.Fatalf("profile gz: exit %d, output:\n%s", code, out)
+	}
+	if out, code := runSelf(t, "profile", "-in", in, "-out", flatProf, "-format", "flat", "-interval", "5000", "-name", "tiny"); code != 0 {
+		t.Fatalf("profile flat: exit %d, output:\n%s", code, out)
+	}
+	f, err := profile.OpenFlatFile(flatProf)
+	if err != nil {
+		t.Fatalf("profile -format flat output does not open: %v", err)
+	}
+	if f.Name() != "tiny" || f.Requests() != 400 {
+		t.Fatalf("flat profile header: name %q, %d requests", f.Name(), f.Requests())
+	}
+	f.Close()
+
+	// convert gz -> flat (target inferred from .mfp) must byte-match the
+	// directly-written flat file; flat -> gz must byte-match the gz one.
+	convFlat := filepath.Join(dir, "conv.mfp")
+	convGz := filepath.Join(dir, "conv.profile.gz")
+	if out, code := runSelf(t, "convert", "-in", gzProf, "-out", convFlat); code != 0 {
+		t.Fatalf("convert to flat: exit %d, output:\n%s", code, out)
+	}
+	if !fileEqual(t, convFlat, flatProf) {
+		t.Fatal("converted flat file differs from directly-written one")
+	}
+	if out, code := runSelf(t, "convert", "-in", convFlat, "-out", convGz, "-to", "gz"); code != 0 {
+		t.Fatalf("convert to gz: exit %d, output:\n%s", code, out)
+	}
+	pf, err := os.Open(convGz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := profile.ReadGzip(pf)
+	pf.Close()
+	if err != nil || p2.Name != "tiny" {
+		t.Fatalf("round-tripped gz profile: %v (name %q)", err, p2.Name)
+	}
+
+	if out, code := runSelf(t, "inspect", "-in", flatProf); code != 0 || !strings.Contains(out, "tiny") {
+		t.Fatalf("inspect flat: exit %d, output:\n%s", code, out)
+	}
+
+	// synth must not care which encoding it reads.
+	synGz := filepath.Join(dir, "from-gz.trace.gz")
+	synFlat := filepath.Join(dir, "from-flat.trace.gz")
+	if out, code := runSelf(t, "synth", "-in", gzProf, "-seed", "7", "-out", synGz); code != 0 {
+		t.Fatalf("synth gz: exit %d, output:\n%s", code, out)
+	}
+	if out, code := runSelf(t, "synth", "-in", flatProf, "-seed", "7", "-out", synFlat); code != 0 {
+		t.Fatalf("synth flat: exit %d, output:\n%s", code, out)
+	}
+	if !slices.Equal(readAs(t, synGz, trace.ReadGzip), readAs(t, synFlat, trace.ReadGzip)) {
+		t.Fatal("synth from flat differs from synth from gz")
+	}
+
+	// A corrupt flat profile errors cleanly, never panics.
+	bad := filepath.Join(dir, "bad.mfp")
+	buf, err := os.ReadFile(flatProf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x20
+	if err := os.WriteFile(bad, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := runSelf(t, "synth", "-in", bad, "-out", filepath.Join(dir, "x.gz")); code != 1 || strings.Contains(out, "panic") {
+		t.Fatalf("corrupt flat: exit %d, output:\n%s", code, out)
+	}
+}
+
+func fileEqual(t *testing.T, a, b string) bool {
+	t.Helper()
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(ab) == string(bb)
 }

@@ -155,10 +155,8 @@ func modelMultiset(m *profileModel, n int) multiset {
 		return ms
 	}
 	ms[m.Initial]++
-	for _, row := range m.Rows {
-		for _, e := range row.Edges {
-			ms[e.To] += int64(e.N)
-		}
+	for j, to := range m.To {
+		ms[to] += int64(m.N[j])
 	}
 	return ms
 }

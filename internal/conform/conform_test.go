@@ -124,8 +124,9 @@ func TestPerturbedModelFailsProfileCheck(t *testing.T) {
 	perturbed := false
 	for i := range p.Leaves {
 		m := &p.Leaves[i].Size
-		if !m.Constant && len(m.Rows) > 0 && len(m.Rows[0].Edges) > 0 {
-			m.Rows[0].Edges[0].N += 3
+		if !m.Constant && len(m.N) > 0 {
+			m.N[0] += 3
+			m.Finish()
 			perturbed = true
 			break
 		}
@@ -221,8 +222,9 @@ func TestInconsistentModelFailsStrictConvergence(t *testing.T) {
 	idx := -1
 	for i := range p.Leaves {
 		m := &p.Leaves[i].DeltaTime
-		if !m.Constant && len(m.Rows) > 0 && len(m.Rows[0].Edges) > 0 {
-			m.Rows[0].Edges[0].N += 2
+		if !m.Constant && len(m.N) > 0 {
+			m.N[0] += 2
+			m.Finish()
 			idx = i
 			break
 		}

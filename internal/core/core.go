@@ -84,6 +84,14 @@ func Synthesize(p *profile.Profile, seed uint64, opts ...SynthOption) trace.Sour
 	return synth.New(p, seed, opts...)
 }
 
+// SynthesizeFrom is Synthesize for any profile representation — a
+// decoded heap profile or a zero-copy flat view over a mapped buffer
+// (profile.OpenFlat / profile.OpenFlatFile). The stream depends only
+// on the profile contents and the seed, never on the representation.
+func SynthesizeFrom(v profile.View, seed uint64, opts ...SynthOption) trace.Source {
+	return synth.NewFrom(v, seed, opts...)
+}
+
 // SynthesizeTrace drains a full synthetic trace from the profile
 // (Option A in Fig. 1: generate a synthetic trace file up front). The
 // result is sorted by time. The output length is known up front — every

@@ -80,13 +80,10 @@ func FuzzStrictConvergence(f *testing.F) {
 // hand-built or deserialised model can, and the old fallback divided by
 // a zero total. Generation must continue deterministically, not panic.
 func TestStepZeroCountRowFallsBackSafely(t *testing.T) {
-	m := Model{
-		Initial: 1,
-		Rows: []Row{
-			{From: 1, Edges: []Edge{{To: 2, N: 0}, {To: 3, N: 0}}},
-			{From: 2, Edges: []Edge{{To: 1, N: 1}}},
-		},
-	}
+	m := FromRows(1, []Row{
+		{From: 1, Edges: []Edge{{To: 2, N: 0}, {To: 3, N: 0}}},
+		{From: 2, Edges: []Edge{{To: 1, N: 1}}},
+	})
 	g := NewGenerator(&m, stats.NewRNG(4))
 	for i := 0; i < 50; i++ {
 		v := g.Next()
@@ -99,10 +96,7 @@ func TestStepZeroCountRowFallsBackSafely(t *testing.T) {
 // TestStepZeroCountEdgelessRow covers the same guard when the row has no
 // edges at all.
 func TestStepZeroCountEdgelessRow(t *testing.T) {
-	m := Model{
-		Initial: 5,
-		Rows:    []Row{{From: 5, Edges: nil}},
-	}
+	m := FromRows(5, []Row{{From: 5, Edges: nil}})
 	g := NewGenerator(&m, stats.NewRNG(8))
 	for i := 0; i < 20; i++ {
 		if v := g.Next(); v != 5 {

@@ -9,12 +9,15 @@ import (
 )
 
 // oldGenerator is a frozen copy of the pre-optimisation Generator (linear
-// weighted scans, per-draw total re-summation). The optimised kernels
-// must stay draw-for-draw identical to it: both consume one RNG value per
-// weighted choice and select the element a left-to-right scan would, so
-// any divergence is a regression in the binary-search/Fenwick rewrite.
+// weighted scans, per-draw total re-summation, nested row structures). The
+// optimised kernels must stay draw-for-draw identical to it: both consume
+// one RNG value per weighted choice and select the element a left-to-right
+// scan would, so any divergence is a regression in the binary-search/
+// Fenwick/flat-table rewrite. newOldGenerator rebuilds the nested rows the
+// frozen implementation traversed from today's flat model.
 type oldGenerator struct {
 	m         *Model
+	rows      []Row
 	rng       *stats.RNG
 	state     int64
 	started   bool
@@ -28,8 +31,12 @@ type oldGenerator struct {
 func newOldGenerator(m *Model, rng *stats.RNG) *oldGenerator {
 	g := &oldGenerator{m: m, rng: rng}
 	if !m.Constant {
-		g.remaining = make([][]uint32, len(m.Rows))
-		for i, r := range m.Rows {
+		g.rows = make([]Row, len(m.From))
+		for i := range g.rows {
+			g.rows[i] = m.RowAt(i)
+		}
+		g.remaining = make([][]uint32, len(g.rows))
+		for i, r := range g.rows {
 			rem := make([]uint32, len(r.Edges))
 			for j, e := range r.Edges {
 				rem[j] = e.N
@@ -37,7 +44,7 @@ func newOldGenerator(m *Model, rng *stats.RNG) *oldGenerator {
 			g.remaining[i] = rem
 		}
 		counts := make(map[int64]uint32)
-		for _, r := range g.m.Rows {
+		for _, r := range g.rows {
 			for _, e := range r.Edges {
 				counts[e.To] += e.N
 			}
@@ -100,7 +107,7 @@ func (g *oldGenerator) step(cur int64) int64 {
 			return g.m.Initial
 		}
 	}
-	row := g.m.Rows[ri]
+	row := g.rows[ri]
 	rem := g.remaining[ri]
 	var total uint64
 	for _, n := range rem {

@@ -10,6 +10,7 @@
 package markov
 
 import (
+	"cmp"
 	"fmt"
 	"slices"
 	"sort"
@@ -24,14 +25,26 @@ type Edge struct {
 }
 
 // Row holds the outgoing transitions of one state, sorted by To for
-// deterministic iteration and serialisation.
+// deterministic iteration and serialisation. Rows are a construction
+// convenience (see FromRows); the model itself stores the table
+// flattened.
 type Row struct {
 	From  int64
 	Edges []Edge
 }
 
 // Model is a McC ("Markov chain or Constant") model of one feature.
-// The zero value is an empty model; build one with Fit.
+// The zero value is an empty model; build one with Fit or FromRows.
+//
+// The transition table is stored as flat parallel arrays rather than
+// nested row structures: state i is From[i] (sorted ascending), and its
+// outgoing edges occupy To[RowOff[i]:RowOff[i+1]] / N[RowOff[i]:
+// RowOff[i+1]], sorted by target. The layout is what the flat profile
+// encoding maps directly from disk (package profile), and what the
+// Generator binds to without per-row allocations. RowSum, Vals and ValN
+// are derived tables (see Finish) that make generator setup
+// allocation-free: callers that fill From/RowOff/To/N by hand must call
+// Finish before generating.
 type Model struct {
 	// Constant is true when the feature never changes value in the
 	// training sequence; Value holds that value.
@@ -41,8 +54,22 @@ type Model struct {
 	// Initial is the first value of the training sequence; generation
 	// starts here.
 	Initial int64
-	// Rows holds the transition table, sorted by From.
-	Rows []Row
+
+	// From holds the source states, sorted ascending; RowOff (len
+	// len(From)+1) delimits each state's edge span in To and N.
+	From   []int64
+	RowOff []uint32
+	To     []int64
+	N      []uint32
+
+	// RowSum[i] is the total training count of row i — the static
+	// fallback distribution's normaliser. Vals is the sorted value
+	// multiset of the model (every transition target plus the initial
+	// value) and ValN each value's multiplicity; strict convergence
+	// replays exactly this multiset. All three are derived by Finish.
+	RowSum []uint64
+	Vals   []int64
+	ValN   []uint32
 }
 
 // Fit builds a McC model from a training sequence. An empty sequence
@@ -63,176 +90,91 @@ func Fit(seq []int64) Model {
 	if constant {
 		return Model{Constant: true, Value: seq[0], Initial: seq[0]}
 	}
-	counts := make(map[int64]map[int64]uint32)
+	// Sort the observed (from, to) pairs and coalesce runs: one pass
+	// yields the row-major flat table with both rows and edges already
+	// in order, without the per-row hash maps the nested builder used.
+	type trans struct{ from, to int64 }
+	ts := make([]trans, len(seq)-1)
 	for i := 1; i < len(seq); i++ {
-		from, to := seq[i-1], seq[i]
-		row := counts[from]
-		if row == nil {
-			row = make(map[int64]uint32)
-			counts[from] = row
-		}
-		row[to]++
+		ts[i-1] = trans{seq[i-1], seq[i]}
 	}
+	slices.SortFunc(ts, func(a, b trans) int {
+		if c := cmp.Compare(a.from, b.from); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.to, b.to)
+	})
 	m := Model{Initial: seq[0]}
-	m.Rows = make([]Row, 0, len(counts))
-	for from, row := range counts {
-		edges := make([]Edge, 0, len(row))
-		for to, n := range row {
-			edges = append(edges, Edge{To: to, N: n})
+	m.To = make([]int64, 0, len(ts))
+	m.N = make([]uint32, 0, len(ts))
+	for i := 0; i < len(ts); {
+		j := i
+		for j < len(ts) && ts[j] == ts[i] {
+			j++
 		}
-		sort.Slice(edges, func(i, j int) bool { return edges[i].To < edges[j].To })
-		m.Rows = append(m.Rows, Row{From: from, Edges: edges})
+		if len(m.From) == 0 || m.From[len(m.From)-1] != ts[i].from {
+			m.From = append(m.From, ts[i].from)
+			m.RowOff = append(m.RowOff, uint32(len(m.To)))
+		}
+		m.To = append(m.To, ts[i].to)
+		m.N = append(m.N, uint32(j-i))
+		i = j
 	}
-	sort.Slice(m.Rows, func(i, j int) bool { return m.Rows[i].From < m.Rows[j].From })
+	m.RowOff = append(m.RowOff, uint32(len(m.To)))
+	m.Finish()
 	return m
 }
 
-// States returns the number of states in the transition table (0 for a
-// Constant model).
-func (m *Model) States() int { return len(m.Rows) }
-
-// Transitions returns the total training transition count.
-func (m *Model) Transitions() int {
-	n := 0
-	for _, r := range m.Rows {
-		for _, e := range r.Edges {
-			n += int(e.N)
+// FromRows builds a model from nested rows (sorted by From, edges
+// sorted by To) — the shape construction-time callers like the privacy
+// noising pass naturally produce — and derives the generation tables.
+func FromRows(initial int64, rows []Row) Model {
+	edges := 0
+	for i := range rows {
+		edges += len(rows[i].Edges)
+	}
+	m := Model{Initial: initial}
+	m.From = make([]int64, len(rows))
+	m.RowOff = make([]uint32, len(rows)+1)
+	m.To = make([]int64, 0, edges)
+	m.N = make([]uint32, 0, edges)
+	for i := range rows {
+		m.From[i] = rows[i].From
+		m.RowOff[i] = uint32(len(m.To))
+		for _, e := range rows[i].Edges {
+			m.To = append(m.To, e.To)
+			m.N = append(m.N, e.N)
 		}
 	}
-	return n
+	m.RowOff[len(rows)] = uint32(len(m.To))
+	m.Finish()
+	return m
 }
 
-// String summarises the model.
-func (m *Model) String() string {
+// Finish derives the generation tables (RowSum, Vals, ValN) from the
+// transition table. Fit and FromRows return finished models; callers
+// that fill From/RowOff/To/N directly — the profile codec, hand-built
+// test models — must call Finish before generating, and again after
+// mutating edge counts.
+func (m *Model) Finish() {
 	if m.Constant {
-		return fmt.Sprintf("Constant(%d)", m.Value)
-	}
-	return fmt.Sprintf("Markov(states=%d, transitions=%d, initial=%d)", m.States(), m.Transitions(), m.Initial)
-}
-
-// rowIndex returns the index of state from in Rows, or -1.
-func (m *Model) rowIndex(from int64) int {
-	i := sort.Search(len(m.Rows), func(i int) bool { return m.Rows[i].From >= from })
-	if i < len(m.Rows) && m.Rows[i].From == from {
-		return i
-	}
-	return -1
-}
-
-// fenwickMin is the distribution size above which the sampling kernels
-// switch from a cached-total linear scan to a Fenwick-tree (mutable
-// counts) or prefix-sum (static counts) binary search. Small
-// distributions stay linear: the scan fits in a cache line and beats the
-// tree's pointer arithmetic. It doubles as the state-count cutoff below
-// which row and value lookups use binary search over the sorted model
-// instead of building per-generator hash maps — interval-partitioned
-// profiles create tens of thousands of tiny generators per synthesis,
-// and map construction would dominate their setup cost. Either path
-// selects the same element for the same RNG draw, so the cutoff never
-// changes generated streams.
-const fenwickMin = 16
-
-// Generator produces a value sequence from a Model under strict
-// convergence: per-transition counts steer the ordering, and per-value
-// remaining counts guarantee that generating exactly the training length
-// reproduces the exact multiset of values — the property the paper relies
-// on ("strict convergence ensures that only two 128 sizes and ten 64
-// sizes are generated"). A Generator is single-use; create a fresh one
-// per synthesis run.
-//
-// Sampling is O(1) amortised per draw for small rows and O(log n) for
-// large ones: row totals are cached and decremented instead of re-summed,
-// mutable strict-convergence counts live in Fenwick trees, and the static
-// fallback distribution is drawn via binary search over prefix sums
-// precomputed at NewGenerator time.
-type Generator struct {
-	m *Model
-	// rng is held by value: a Generator owns its RNG stream outright
-	// (every caller hands it a dedicated fork), and a self-contained
-	// struct lets short-lived generators live on the stack.
-	rng     stats.RNG
-	state   int64
-	started bool
-
-	// rowIdx maps a state value to its row index; it is nil for models
-	// with < fenwickMin states, which look rows up by binary search over
-	// the sorted transition table instead. initRow caches the initial
-	// state's row (-1 when the initial value never occurs as a source).
-	rowIdx  map[int64]int
-	initRow int
-
-	// Strict-convergence transition counts, flattened edge-major: row
-	// i's remaining counts are rem[rowOff[i]:rowOff[i+1]]. rowTotal
-	// caches the sum of each row's remaining counts. rowOff, rem and
-	// valueRem share one backing allocation. Rows with >= fenwickMin
-	// edges additionally keep their mutable counts in rowFen; both
-	// rowFen and fallCum are nil when no row is that large.
-	rem      []uint32
-	rowOff   []uint32
-	rowFen   []*stats.Fenwick
-	rowTotal []uint64
-
-	// Static fallback distribution, used once a row's remaining counts
-	// are exhausted. fallTotal holds each row's training total; rows >=
-	// fenwickMin additionally carry inclusive prefix sums in fallCum
-	// (nil when no row is that large).
-	fallCum   [][]uint64
-	fallTotal []uint64
-
-	// Value-level strict convergence: the sorted training values and how
-	// many emissions of each remain. valueIdx is nil for < fenwickMin
-	// values (binary search over the sorted values instead).
-	values   []int64
-	valueIdx map[int64]int
-	valueRem []uint32
-	valueFen *stats.Fenwick
-	remTotal uint64
-}
-
-// NewGenerator returns a generator for m seeded with rng's current
-// state; the generator draws from its own copy of rng (see Init).
-func NewGenerator(m *Model, rng *stats.RNG) *Generator {
-	g := new(Generator)
-	g.Init(m, rng)
-	return g
-}
-
-// Init prepares g to generate from m, copying rng's state as its private
-// draw stream, replacing any previous state. It exists so callers that
-// create many short-lived generators (one per leaf feature per
-// synthesis) can keep them as values instead of heap-allocating each
-// one. The caller's rng is not advanced by later draws; hand each
-// generator a dedicated fork.
-func (g *Generator) Init(m *Model, rng *stats.RNG) {
-	*g = Generator{m: m, rng: *rng}
-	if m.Constant {
+		m.RowSum, m.Vals, m.ValN = nil, nil, nil
 		return
 	}
-	n := len(m.Rows)
-	edges, maxRow := 0, 0
-	for i := range m.Rows {
-		e := len(m.Rows[i].Edges)
-		edges += e
-		if e > maxRow {
-			maxRow = e
+	n := len(m.From)
+	m.RowSum = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		var s uint64
+		for j := m.RowOff[i]; j < m.RowOff[i+1]; j++ {
+			s += uint64(m.N[j])
 		}
+		m.RowSum[i] = s
 	}
-	totals := make([]uint64, 2*n)
-	g.rowTotal, g.fallTotal = totals[:n:n], totals[n:]
-	if n >= fenwickMin {
-		g.rowIdx = make(map[int64]int, n)
-	}
-	if maxRow >= fenwickMin {
-		g.rowFen = make([]*stats.Fenwick, n)
-		g.fallCum = make([][]uint64, n)
-	}
-
-	// Derive the value multiset (each value's in-degree, plus one for
-	// the initial value) by sorting and coalescing the edge list — no
-	// hash map on this path either.
-	pairs := make([]Edge, 0, edges+1)
-	for i := range m.Rows {
-		pairs = append(pairs, m.Rows[i].Edges...)
+	// The value multiset: each value's in-degree, plus one for the
+	// initial value, derived by sorting and coalescing the edge list.
+	pairs := make([]Edge, 0, len(m.To)+1)
+	for j := range m.To {
+		pairs = append(pairs, Edge{To: m.To[j], N: m.N[j]})
 	}
 	pairs = append(pairs, Edge{To: m.Initial, N: 1})
 	sortEdgesByTo(pairs)
@@ -246,58 +188,267 @@ func (g *Generator) Init(m *Model, rng *stats.RNG) {
 		}
 	}
 	pairs = pairs[:k+1]
+	m.Vals = make([]int64, len(pairs))
+	m.ValN = make([]uint32, len(pairs))
+	for i, p := range pairs {
+		m.Vals[i] = p.To
+		m.ValN[i] = p.N
+	}
+}
 
-	// One shared uint32 buffer holds the row offsets, the transition
-	// remaining counts, and the value remaining counts, keeping setup at
-	// a handful of allocations per generator.
-	buf := make([]uint32, (n+1)+edges+len(pairs))
-	g.rowOff = buf[: n+1 : n+1]
-	g.rem = buf[n+1 : n+1+edges : n+1+edges]
-	g.valueRem = buf[n+1+edges:]
+// States returns the number of states in the transition table (0 for a
+// Constant model).
+func (m *Model) States() int { return len(m.From) }
 
-	off := 0
-	for i := range m.Rows {
-		r := &m.Rows[i]
-		if g.rowIdx != nil {
-			g.rowIdx[r.From] = i
+// Transitions returns the total training transition count.
+func (m *Model) Transitions() int {
+	n := 0
+	for _, c := range m.N {
+		n += int(c)
+	}
+	return n
+}
+
+// String summarises the model.
+func (m *Model) String() string {
+	if m.Constant {
+		return fmt.Sprintf("Constant(%d)", m.Value)
+	}
+	return fmt.Sprintf("Markov(states=%d, transitions=%d, initial=%d)", m.States(), m.Transitions(), m.Initial)
+}
+
+// RowAt materialises state i's nested view; for iteration convenience
+// in cold paths (tests, dumps) — hot paths index the flat arrays.
+func (m *Model) RowAt(i int) Row {
+	lo, hi := m.RowOff[i], m.RowOff[i+1]
+	edges := make([]Edge, hi-lo)
+	for j := range edges {
+		edges[j] = Edge{To: m.To[lo+uint32(j)], N: m.N[lo+uint32(j)]}
+	}
+	return Row{From: m.From[i], Edges: edges}
+}
+
+// rowIndex returns the index of state from, or -1.
+func (m *Model) rowIndex(from int64) int {
+	return rowSearch(m.From, from)
+}
+
+// rowSearch binary-searches the sorted state list for from, or -1.
+func rowSearch(states []int64, from int64) int {
+	i := sort.Search(len(states), func(i int) bool { return states[i] >= from })
+	if i < len(states) && states[i] == from {
+		return i
+	}
+	return -1
+}
+
+// fenwickMin is the distribution size above which the sampling kernels
+// switch from a cached-total linear scan to a Fenwick-tree (mutable
+// counts) or prefix-sum (static counts) binary search. Small
+// distributions stay linear: the scan fits in a cache line and beats the
+// tree's pointer arithmetic. Either path selects the same element for
+// the same RNG draw, so the cutoff never changes generated streams.
+const fenwickMin = 16
+
+// Arena is scratch memory a Generator's mutable per-stream state is
+// carved from. A synthesis run sizes one arena for all its generators
+// (see Model.ArenaSize), so generator setup performs no allocations at
+// all; Init with a nil arena allocates a private one. Prior contents
+// are irrelevant — InitArena fully overwrites what it takes.
+type Arena struct {
+	U32 []uint32
+	U64 []uint64
+}
+
+func (a *Arena) take32(n int) []uint32 {
+	s := a.U32[:n:n]
+	a.U32 = a.U32[n:]
+	return s
+}
+
+func (a *Arena) take64(n int) []uint64 {
+	s := a.U64[:n:n]
+	a.U64 = a.U64[n:]
+	return s
+}
+
+// ArenaSize returns how many uint32 and uint64 arena elements a
+// generator for m consumes: the strict-convergence remaining counts,
+// cached row totals, and — for rows and value sets at or above
+// fenwickMin — the Fenwick trees and static prefix sums.
+func (m *Model) ArenaSize() (n32, n64 int) {
+	if m.Constant {
+		return 0, 0
+	}
+	n := len(m.From)
+	n32 = len(m.To) + len(m.ValN)
+	n64 = n
+	maxRow, bigEdges, bigRows := 0, 0, 0
+	for i := 0; i < n; i++ {
+		e := int(m.RowOff[i+1] - m.RowOff[i])
+		if e > maxRow {
+			maxRow = e
 		}
-		g.rowOff[i] = uint32(off)
-		var total uint64
-		for j := range r.Edges {
-			g.rem[off+j] = r.Edges[j].N
-			total += uint64(r.Edges[j].N)
+		if e >= fenwickMin {
+			bigEdges += e
+			bigRows++
 		}
-		g.rowTotal[i] = total
-		g.fallTotal[i] = total
-		if len(r.Edges) >= fenwickMin {
-			row := g.rem[off : off+len(r.Edges)]
-			cum := make([]uint64, len(r.Edges))
+	}
+	if maxRow >= fenwickMin {
+		n32 += n                   // fenIdx
+		n64 += 2*bigEdges + bigRows // per big row: tree (e+1) + prefix sums (e)
+	}
+	if len(m.Vals) >= fenwickMin {
+		n64 += len(m.Vals) + 1
+	}
+	return n32, n64
+}
+
+// noFen marks a row without a Fenwick block in Generator.fenIdx.
+const noFen = ^uint32(0)
+
+// Generator produces a value sequence from a Model under strict
+// convergence: per-transition counts steer the ordering, and per-value
+// remaining counts guarantee that generating exactly the training length
+// reproduces the exact multiset of values — the property the paper relies
+// on ("strict convergence ensures that only two 128 sizes and ten 64
+// sizes are generated"). A Generator is single-use; create a fresh one
+// per synthesis run.
+//
+// A Generator holds slice views of the model's immutable tables (not a
+// *Model — the model struct handed to Init may be a transient view over
+// a flat profile buffer) plus mutable strict-convergence state carved
+// from an Arena. Sampling is O(1) amortised per draw for small rows and
+// O(log n) for large ones.
+type Generator struct {
+	// rng is held by value: a Generator owns its RNG stream outright
+	// (every caller hands it a dedicated fork), and a self-contained
+	// struct lets short-lived generators live on the stack.
+	rng     stats.RNG
+	state   int64
+	started bool
+
+	constant bool
+	value    int64
+	initial  int64
+
+	// Immutable model views (shared with the Model or the flat buffer
+	// behind it): states, edge spans, targets, training counts, row
+	// totals, and the sorted value multiset.
+	from      []int64
+	mOff      []uint32
+	to        []int64
+	eN        []uint32
+	fallTotal []uint64
+	values    []int64
+
+	// initRow caches the initial state's row (-1 when the initial value
+	// never occurs as a source).
+	initRow int
+
+	// Mutable strict-convergence state, arena-carved. rem holds each
+	// edge's remaining count (edge-major, spans delimited by mOff);
+	// rowTotal caches each row's remaining sum. Rows with >= fenwickMin
+	// edges keep their mutable counts in a Fenwick tree and their static
+	// distribution as inclusive prefix sums, packed per row into fenData
+	// at offset fenIdx[row] (noFen for small rows); fenIdx is nil when
+	// no row is that large.
+	rem      []uint32
+	rowTotal []uint64
+	fenIdx   []uint32
+	fenData  []uint64
+
+	// Value-level strict convergence: how many emissions of each value
+	// remain, their total, and — for >= fenwickMin values — a Fenwick
+	// tree over the remaining counts.
+	valueRem []uint32
+	valueFen []uint64
+	remTotal uint64
+}
+
+// NewGenerator returns a generator for m seeded with rng's current
+// state; the generator draws from its own copy of rng (see Init).
+func NewGenerator(m *Model, rng *stats.RNG) *Generator {
+	g := new(Generator)
+	g.Init(m, rng)
+	return g
+}
+
+// Init prepares g to generate from m with a private arena; see
+// InitArena.
+func (g *Generator) Init(m *Model, rng *stats.RNG) { g.InitArena(m, rng, nil) }
+
+// InitArena prepares g to generate from m, copying rng's state as its
+// private draw stream and replacing any previous state. The mutable
+// per-stream tables are carved from ar — callers that build many
+// generators (four per leaf per synthesis) size one arena for all of
+// them and pay zero allocations here; a nil ar allocates a private
+// arena. g retains m's table slices but not m itself, so m may be a
+// stack-transient view as long as the arrays it points at outlive g.
+func (g *Generator) InitArena(m *Model, rng *stats.RNG, ar *Arena) {
+	*g = Generator{rng: *rng}
+	if m.Constant {
+		g.constant, g.value = true, m.Value
+		return
+	}
+	if ar == nil {
+		n32, n64 := m.ArenaSize()
+		ar = &Arena{U32: make([]uint32, n32), U64: make([]uint64, n64)}
+	}
+	n := len(m.From)
+	g.initial = m.Initial
+	g.from, g.mOff, g.to, g.eN = m.From, m.RowOff, m.To, m.N
+	g.fallTotal = m.RowSum
+	g.values = m.Vals
+
+	g.rem = ar.take32(len(m.To))
+	copy(g.rem, m.N)
+	g.valueRem = ar.take32(len(m.ValN))
+	copy(g.valueRem, m.ValN)
+	g.rowTotal = ar.take64(n)
+	copy(g.rowTotal, m.RowSum)
+
+	maxRow, bigEdges, bigRows := 0, 0, 0
+	for i := 0; i < n; i++ {
+		e := int(m.RowOff[i+1] - m.RowOff[i])
+		if e > maxRow {
+			maxRow = e
+		}
+		if e >= fenwickMin {
+			bigEdges += e
+			bigRows++
+		}
+	}
+	if maxRow >= fenwickMin {
+		g.fenIdx = ar.take32(n)
+		g.fenData = ar.take64(2*bigEdges + bigRows)
+		base := 0
+		for i := 0; i < n; i++ {
+			lo, hi := m.RowOff[i], m.RowOff[i+1]
+			e := int(hi - lo)
+			if e < fenwickMin {
+				g.fenIdx[i] = noFen
+				continue
+			}
+			g.fenIdx[i] = uint32(base)
+			stats.FenBuild(g.fenData[base:base+e+1], m.N[lo:hi])
+			cum := g.fenData[base+e+1 : base+2*e+1]
 			var s uint64
-			for j, w := range row {
-				s += uint64(w)
+			for j := 0; j < e; j++ {
+				s += uint64(m.N[lo+uint32(j)])
 				cum[j] = s
 			}
-			g.rowFen[i] = stats.NewFenwick(row)
-			g.fallCum[i] = cum
+			base += 2*e + 1
 		}
-		off += len(r.Edges)
 	}
-	g.rowOff[n] = uint32(off)
-	g.initRow = g.rowIndexOf(m.Initial)
-
-	g.values = make([]int64, len(pairs))
-	for i, p := range pairs {
-		g.values[i] = p.To
-		g.valueRem[i] = p.N
-		g.remTotal += uint64(p.N)
+	for _, c := range g.valueRem {
+		g.remTotal += uint64(c)
 	}
 	if len(g.values) >= fenwickMin {
-		g.valueIdx = make(map[int64]int, len(g.values))
-		for i, v := range g.values {
-			g.valueIdx[v] = i
-		}
-		g.valueFen = stats.NewFenwick(g.valueRem)
+		g.valueFen = ar.take64(len(g.values) + 1)
+		stats.FenBuild(g.valueFen, g.valueRem)
 	}
+	g.initRow = rowSearch(g.from, g.initial)
 }
 
 // sortEdgesByTo sorts edges by To: insertion sort for the short lists
@@ -324,26 +475,8 @@ func sortEdgesByTo(edges []Edge) {
 	})
 }
 
-// rowIndexOf returns the row index of state from, or -1: a map lookup
-// for large models, binary search over the sorted rows for small ones.
-func (g *Generator) rowIndexOf(from int64) int {
-	if g.rowIdx != nil {
-		if i, ok := g.rowIdx[from]; ok {
-			return i
-		}
-		return -1
-	}
-	return g.m.rowIndex(from)
-}
-
 // valueIndexOf returns the index of v in values, or -1.
 func (g *Generator) valueIndexOf(v int64) int {
-	if g.valueIdx != nil {
-		if i, ok := g.valueIdx[v]; ok {
-			return i
-		}
-		return -1
-	}
 	i := sort.Search(len(g.values), func(i int) bool { return g.values[i] >= v })
 	if i < len(g.values) && g.values[i] == v {
 		return i
@@ -356,7 +489,7 @@ func (g *Generator) takeValue(i int) {
 	g.valueRem[i]--
 	g.remTotal--
 	if g.valueFen != nil {
-		g.valueFen.Dec(i)
+		stats.FenDec(g.valueFen, i)
 	}
 }
 
@@ -376,7 +509,7 @@ func (g *Generator) consumeValue(v int64) int64 {
 	// by their remaining counts.
 	pick := g.rng.Uint64n(g.remTotal)
 	if g.valueFen != nil {
-		j := g.valueFen.Find(pick)
+		j := stats.FenFind(g.valueFen, pick)
 		g.takeValue(j)
 		return g.values[j]
 	}
@@ -394,12 +527,12 @@ func (g *Generator) consumeValue(v int64) int64 {
 // model's initial value; later calls take one Markov transition (or repeat
 // the constant).
 func (g *Generator) Next() int64 {
-	if g.m.Constant {
-		return g.m.Value
+	if g.constant {
+		return g.value
 	}
 	if !g.started {
 		g.started = true
-		g.state = g.consumeValue(g.m.Initial)
+		g.state = g.consumeValue(g.initial)
 		return g.state
 	}
 	g.state = g.consumeValue(g.step(g.state))
@@ -411,58 +544,71 @@ func (g *Generator) Next() int64 {
 // original training distribution, and if the state never appeared as a
 // source in training it restarts from the initial state's row.
 func (g *Generator) step(cur int64) int64 {
-	ri := g.rowIndexOf(cur)
+	ri := rowSearch(g.from, cur)
 	if ri < 0 {
 		// Terminal training state: restart from the initial state.
 		ri = g.initRow
 		if ri < 0 {
-			return g.m.Initial
+			return g.initial
 		}
 	}
-	edges := g.m.Rows[ri].Edges
+	lo, hi := g.mOff[ri], g.mOff[ri+1]
+	e := int(hi - lo)
 	if total := g.rowTotal[ri]; total > 0 {
 		pick := g.rng.Uint64n(total)
 		g.rowTotal[ri] = total - 1
-		if g.rowFen != nil {
-			if f := g.rowFen[ri]; f != nil {
-				j := f.Find(pick)
-				f.Dec(j)
-				return edges[j].To
+		if g.fenIdx != nil {
+			if base := g.fenIdx[ri]; base != noFen {
+				tree := g.fenData[base : int(base)+e+1]
+				j := stats.FenFind(tree, pick)
+				if j >= e {
+					// Reachable only when a stored RowSum overstates the
+					// actual counts (corrupted or hand-built model);
+					// clamp instead of indexing past the row.
+					j = e - 1
+				}
+				stats.FenDec(tree, j)
+				return g.to[lo+uint32(j)]
 			}
 		}
-		rem := g.rem[g.rowOff[ri]:g.rowOff[ri+1]]
+		rem := g.rem[lo:hi]
 		for j, n := range rem {
 			if pick < uint64(n) {
 				rem[j]--
-				return edges[j].To
+				return g.to[lo+uint32(j)]
 			}
 			pick -= uint64(n)
 		}
 	}
 	// Row exhausted: fall back to the original distribution.
 	total := g.fallTotal[ri]
-	if total == 0 {
-		// A row whose edges all carry zero counts (possible only in a
-		// hand-built or corrupted model — Fit never emits one) has no
-		// distribution to draw from; self-loop deterministically rather
-		// than divide by zero.
-		if len(edges) > 0 {
-			return edges[0].To
+	if total == 0 || e == 0 {
+		// A row whose edges all carry zero counts, or a row total with no
+		// edges behind it (possible only in a hand-built or corrupted
+		// model — Fit never emits either) has no distribution to draw
+		// from; self-loop deterministically rather than divide by zero or
+		// index past the row.
+		if e > 0 {
+			return g.to[lo]
 		}
-		return g.m.Initial
+		return g.initial
 	}
 	pick := g.rng.Uint64n(total)
-	if g.fallCum != nil {
-		if cum := g.fallCum[ri]; cum != nil {
+	if g.fenIdx != nil {
+		if base := g.fenIdx[ri]; base != noFen {
+			cum := g.fenData[int(base)+e+1 : int(base)+2*e+1]
 			j := sort.Search(len(cum), func(i int) bool { return cum[i] > pick })
-			return edges[j].To
+			if j >= e {
+				j = e - 1
+			}
+			return g.to[lo+uint32(j)]
 		}
 	}
-	for _, e := range edges {
-		if pick < uint64(e.N) {
-			return e.To
+	for j := lo; j < hi; j++ {
+		if pick < uint64(g.eN[j]) {
+			return g.to[j]
 		}
-		pick -= uint64(e.N)
+		pick -= uint64(g.eN[j])
 	}
-	return edges[len(edges)-1].To
+	return g.to[hi-1]
 }

@@ -59,17 +59,21 @@ func TestFitChain(t *testing.T) {
 
 func TestFitRowsSorted(t *testing.T) {
 	m := Fit([]int64{5, -3, 9, 5, -3, 2, 5})
-	for i := 1; i < len(m.Rows); i++ {
-		if m.Rows[i].From <= m.Rows[i-1].From {
+	for i := 1; i < len(m.From); i++ {
+		if m.From[i] <= m.From[i-1] {
 			t.Fatal("rows not sorted by From")
 		}
 	}
-	for _, r := range m.Rows {
+	for i := range m.From {
+		r := m.RowAt(i)
 		for j := 1; j < len(r.Edges); j++ {
 			if r.Edges[j].To <= r.Edges[j-1].To {
 				t.Fatal("edges not sorted by To")
 			}
 		}
+	}
+	if len(m.RowOff) != len(m.From)+1 || int(m.RowOff[len(m.From)]) != len(m.To) {
+		t.Fatalf("RowOff malformed: %v over %d edges", m.RowOff, len(m.To))
 	}
 }
 

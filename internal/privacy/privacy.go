@@ -47,23 +47,23 @@ func noiseModel(m markov.Model, epsilon float64, rng *stats.RNG) markov.Model {
 	if m.Constant {
 		return m
 	}
-	nm := markov.Model{Initial: m.Initial}
-	for _, row := range m.Rows {
+	var rows []markov.Row
+	for i := range m.From {
 		var edges []markov.Edge
-		for _, e := range row.Edges {
-			n := int64(e.N) + int64(math.Round(laplace(rng, 1/epsilon)))
+		for j := m.RowOff[i]; j < m.RowOff[i+1]; j++ {
+			n := int64(m.N[j]) + int64(math.Round(laplace(rng, 1/epsilon)))
 			if n > 0 {
-				edges = append(edges, markov.Edge{To: e.To, N: uint32(n)})
+				edges = append(edges, markov.Edge{To: m.To[j], N: uint32(n)})
 			}
 		}
 		if len(edges) > 0 {
-			nm.Rows = append(nm.Rows, markov.Row{From: row.From, Edges: edges})
+			rows = append(rows, markov.Row{From: m.From[i], Edges: edges})
 		}
 	}
-	if len(nm.Rows) == 0 {
+	if len(rows) == 0 {
 		return markov.Model{Constant: true, Value: m.Initial, Initial: m.Initial}
 	}
-	return nm
+	return markov.FromRows(m.Initial, rows)
 }
 
 // laplace draws from the Laplace distribution with mean 0 and scale b

@@ -52,13 +52,14 @@ func Write(w io.Writer, p *Profile) error {
 		}
 		bw.WriteByte(modelMarkov)
 		putVarint(m.Initial)
-		putUvarint(uint64(len(m.Rows)))
-		for _, r := range m.Rows {
-			putVarint(r.From)
-			putUvarint(uint64(len(r.Edges)))
-			for _, e := range r.Edges {
-				putVarint(e.To)
-				putUvarint(uint64(e.N))
+		putUvarint(uint64(len(m.From)))
+		for r := range m.From {
+			putVarint(m.From[r])
+			lo, hi := m.RowOff[r], m.RowOff[r+1]
+			putUvarint(uint64(hi - lo))
+			for j := lo; j < hi; j++ {
+				putVarint(m.To[j])
+				putUvarint(uint64(m.N[j]))
 			}
 		}
 	}
@@ -146,7 +147,9 @@ func Read(r io.Reader) (*Profile, error) {
 			if err != nil {
 				return markov.Model{}, err
 			}
-			m := markov.Model{Initial: initial, Rows: make([]markov.Row, 0, capHint(nRows))}
+			m := markov.Model{Initial: initial}
+			m.From = make([]int64, 0, capHint(nRows))
+			m.RowOff = make([]uint32, 1, capHint(nRows)+1)
 			for i := uint64(0); i < nRows; i++ {
 				from, err := getVarint()
 				if err != nil {
@@ -156,7 +159,6 @@ func Read(r io.Reader) (*Profile, error) {
 				if err != nil {
 					return markov.Model{}, err
 				}
-				row := markov.Row{From: from, Edges: make([]markov.Edge, 0, capHint(nEdges))}
 				for j := uint64(0); j < nEdges; j++ {
 					to, err := getVarint()
 					if err != nil {
@@ -166,10 +168,13 @@ func Read(r io.Reader) (*Profile, error) {
 					if err != nil {
 						return markov.Model{}, err
 					}
-					row.Edges = append(row.Edges, markov.Edge{To: to, N: uint32(n)})
+					m.To = append(m.To, to)
+					m.N = append(m.N, uint32(n))
 				}
-				m.Rows = append(m.Rows, row)
+				m.From = append(m.From, from)
+				m.RowOff = append(m.RowOff, uint32(len(m.To)))
 			}
+			m.Finish()
 			return m, nil
 		default:
 			return markov.Model{}, fmt.Errorf("profile: bad model kind %d", kind)

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package profile
+
+import "os"
+
+// OpenFlatFile opens a flat profile file. Without mmap support the
+// whole file is read into memory; the semantics match the unix
+// implementation, only the open cost differs.
+func OpenFlatFile(path string, opts ...FlatOption) (*Flat, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenFlat(data, opts...)
+}

@@ -1,0 +1,43 @@
+//go:build unix
+
+package profile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenFlatFile opens a flat profile file by memory-mapping it
+// read-only: open cost is the header parse and structural validation,
+// not the file size, and the page cache backs the tables directly. The
+// returned Flat must be released with Close (which unmaps). Unlinking
+// the file while open is safe on unix — the mapping keeps the pages
+// alive — which is what lets the serve disk tier delete cold files
+// without coordinating with in-flight streams.
+func OpenFlatFile(path string, opts ...FlatOption) (*Flat, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, flatErr("unmappable file size %d", size)
+	}
+	data, err := syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("profile: mmap %s: %w", path, err)
+	}
+	f, err := OpenFlat(data, opts...)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, err
+	}
+	f.closer = func() error { return syscall.Munmap(data) }
+	return f, nil
+}

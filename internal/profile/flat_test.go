@@ -1,0 +1,174 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// flatTestProfile builds a moderately rich profile: multiple leaves,
+// Markov and Constant models, and enough distinct values that some
+// models cross the Fenwick cutoff.
+func flatTestProfile(t *testing.T) *Profile {
+	t.Helper()
+	rng := stats.NewRNG(7)
+	reqs := make(trace.Trace, 4000)
+	tm := uint64(0)
+	for i := range reqs {
+		tm += uint64(rng.Intn(120))
+		op := trace.Read
+		if rng.Intn(3) == 0 {
+			op = trace.Write
+		}
+		reqs[i] = trace.Request{
+			Time: tm,
+			Addr: 0x10_0000 + uint64(rng.Intn(1<<18)),
+			Op:   op,
+			Size: uint32(8 << rng.Intn(5)),
+		}
+	}
+	p, err := Build("flat-test", reqs, partition.TwoLevelTS(150_000))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	p := flatTestProfile(t)
+	buf, err := MarshalFlat(p)
+	if err != nil {
+		t.Fatalf("MarshalFlat: %v", err)
+	}
+	if !SniffFlat(buf) {
+		t.Fatal("SniffFlat rejects a flat buffer")
+	}
+	f, err := OpenFlat(buf)
+	if err != nil {
+		t.Fatalf("OpenFlat: %v", err)
+	}
+	if f.Name() != p.Name || f.Config() != p.Config {
+		t.Errorf("strings: %q/%q, want %q/%q", f.Name(), f.Config(), p.Name, p.Config)
+	}
+	if f.NumLeaves() != len(p.Leaves) || f.Requests() != p.Requests() {
+		t.Errorf("counts: %d leaves/%d reqs, want %d/%d",
+			f.NumLeaves(), f.Requests(), len(p.Leaves), p.Requests())
+	}
+	// The canonical-encoding size recorded in the header must match an
+	// actual canonical encode.
+	var canon bytes.Buffer
+	if err := Write(&canon, p); err != nil {
+		t.Fatal(err)
+	}
+	if f.CanonicalBytes() != int64(canon.Len()) {
+		t.Errorf("CanonicalBytes = %d, want %d", f.CanonicalBytes(), canon.Len())
+	}
+	// Every leaf viewed through the flat buffer equals the heap leaf.
+	var scratch Leaf
+	for i := range p.Leaves {
+		if f.LeafCount(i) != p.Leaves[i].Count {
+			t.Fatalf("leaf %d count %d, want %d", i, f.LeafCount(i), p.Leaves[i].Count)
+		}
+		got := f.LeafView(i, &scratch)
+		if !reflect.DeepEqual(*got, p.Leaves[i]) {
+			t.Fatalf("leaf %d view differs from heap leaf", i)
+		}
+	}
+	// Deep conversion back to heap must re-encode to identical canonical
+	// bytes (the property content addressing depends on).
+	var canon2 bytes.Buffer
+	if err := Write(&canon2, f.Profile()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon.Bytes(), canon2.Bytes()) {
+		t.Error("flat->heap conversion changes canonical encoding")
+	}
+}
+
+func TestFlatFileMmap(t *testing.T) {
+	p := flatTestProfile(t)
+	buf, err := MarshalFlat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.mfp")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFlatFile(path)
+	if err != nil {
+		t.Fatalf("OpenFlatFile: %v", err)
+	}
+	var canon, canon2 bytes.Buffer
+	if err := Write(&canon, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&canon2, f.Profile()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon.Bytes(), canon2.Bytes()) {
+		t.Error("mmap round trip changes canonical encoding")
+	}
+	// Unlink-while-mapped must keep the views readable (the disk tier
+	// deletes cold files under open streams).
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	var scratch Leaf
+	_ = f.LeafView(0, &scratch)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestFlatCorruptionDetected(t *testing.T) {
+	p := flatTestProfile(t)
+	orig, err := MarshalFlat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any single-byte flip must be caught by a checksum (or a structural
+	// check) — sample positions across the whole buffer.
+	for _, pos := range []int{0, 5, 9, 17, 25, 49, flatHeaderBytes + 3, flatDataStart + 1,
+		len(orig) / 2, len(orig) - 1} {
+		buf := append([]byte(nil), orig...)
+		buf[pos] ^= 0x40
+		if _, err := OpenFlat(buf); err == nil {
+			t.Errorf("corruption at byte %d not detected", pos)
+		} else if !errors.Is(err, ErrFlatFormat) {
+			t.Errorf("corruption at byte %d: error %v not an ErrFlatFormat", pos, err)
+		}
+	}
+	// Truncations must error, not panic.
+	for _, n := range []int{0, 3, flatHeaderBytes - 1, flatDataStart - 1, len(orig) - 9} {
+		if _, err := OpenFlat(orig[:n]); err == nil {
+			t.Errorf("truncation to %d bytes not detected", n)
+		}
+	}
+	// NoVerify still rejects structural damage (a section span pushed
+	// outside the buffer), just not pure bit rot.
+	buf := append([]byte(nil), orig...)
+	buf[flatHeaderBytes+2] = 0xff // section 0 offset high byte
+	fixupHeaderCRC(buf)
+	if _, err := OpenFlat(buf, FlatNoVerify()); err == nil {
+		t.Error("NoVerify accepted an out-of-bounds section")
+	}
+}
+
+// fixupHeaderCRC recomputes the header checksum after a test mutates
+// the header or section table, so structural checks are reached.
+func fixupHeaderCRC(buf []byte) {
+	crc := crc32.Update(0, flatCRC, buf[:48])
+	crc = crc32.Update(crc, flatCRC, []byte{0, 0, 0, 0})
+	crc = crc32.Update(crc, flatCRC, buf[52:flatDataStart])
+	binary.LittleEndian.PutUint32(buf[48:], crc)
+}

@@ -99,3 +99,61 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFlatOpen feeds arbitrary bytes to the flat-profile opener: header,
+// offset or checksum corruption must produce an error, never a panic,
+// and never an allocation driven by an unvalidated length field (the
+// flat decoder only ever slices the input buffer). Any buffer the
+// verifying open accepts must also pass the structural-only open, view
+// every leaf, convert to a heap profile, and re-encode.
+func FuzzFlatOpen(f *testing.F) {
+	tr := trace.Trace{
+		{Time: 1, Addr: 0x1000, Size: 64, Op: trace.Read},
+		{Time: 5, Addr: 0x1040, Size: 64, Op: trace.Write},
+		{Time: 9, Addr: 0x1080, Size: 128, Op: trace.Read},
+		{Time: 20, Addr: 0x1000, Size: 64, Op: trace.Read},
+	}
+	p, err := Build("seed", tr, partition.TwoLevelTS(100))
+	if err != nil {
+		f.Fatal(err)
+	}
+	buf, err := MarshalFlat(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add(buf[:flatDataStart])
+	mut := append([]byte(nil), buf...)
+	mut[len(mut)-2] ^= 0xff
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, err := OpenFlat(data)
+		if err != nil {
+			// Structural-only opens may accept bit rot but must never
+			// panic either.
+			if fp2, err2 := OpenFlat(data, FlatNoVerify()); err2 == nil {
+				exerciseFlat(fp2)
+			}
+			return
+		}
+		exerciseFlat(fp)
+		hp := fp.Profile()
+		var out bytes.Buffer
+		if err := Write(&out, hp); err != nil {
+			t.Fatalf("re-encoding accepted flat profile: %v", err)
+		}
+	})
+}
+
+// exerciseFlat touches every leaf view of an accepted buffer; with the
+// race/bounds checkers this proves structural validation made all spans
+// in-bounds.
+func exerciseFlat(fp *Flat) {
+	var scratch Leaf
+	for i := 0; i < fp.NumLeaves(); i++ {
+		l := fp.LeafView(i, &scratch)
+		_ = l.DeltaTime.States()
+		_ = l.Size.Transitions()
+	}
+}

@@ -25,6 +25,8 @@ func Main(prog string, args []string) {
 	addr := fs.String("addr", "localhost:8677", "listen address")
 	shards := fs.Int("shards", DefaultShards, "profile store shard count")
 	budget := fs.String("store-budget", "256MiB", "profile store byte budget (e.g. 64MiB, 1GiB; 0 = unlimited)")
+	diskDir := fs.String("disk-dir", "", "disk-tier directory for flat profile files (empty = RAM-only store)")
+	diskBudget := fs.String("disk-budget", "0", "disk-tier byte budget (0 = unlimited); only meaningful with -disk-dir")
 	maxStreams := fs.Int("max-streams", 128, "max concurrent synthesis streams (0 = default, -1 = unlimited)")
 	maxFits := fs.Int("max-fits", 4, "max concurrent in-process fits (0 = default, -1 = unlimited)")
 	maxInflight := fs.Int("max-inflight", 512, "max total in-flight requests (0 = default, -1 = unlimited)")
@@ -45,6 +47,10 @@ func Main(prog string, args []string) {
 	if err != nil {
 		obs.Fatal(fmt.Errorf("-max-upload: %w", err))
 	}
+	diskBudgetBytes, err := ParseBytes(*diskBudget)
+	if err != nil {
+		obs.Fatal(fmt.Errorf("-disk-budget: %w", err))
+	}
 	if budgetBytes == 0 {
 		budgetBytes = -1 // daemon flag semantics: 0 = unlimited
 	}
@@ -52,7 +58,7 @@ func Main(prog string, args []string) {
 	ctx, stop := of.Start(strings.ReplaceAll(prog, " ", "."))
 	defer stop()
 
-	srvr := NewServer(Config{
+	srvr, err := NewServer(Config{
 		Shards:         *shards,
 		StoreBudget:    budgetBytes,
 		MaxStreams:     *maxStreams,
@@ -63,7 +69,12 @@ func Main(prog string, args []string) {
 		FitWorkers:     *fitWorkers,
 		SynthWorkers:   *synthWorkers,
 		Debug:          *debug,
+		DiskDir:        *diskDir,
+		DiskBudget:     diskBudgetBytes,
 	})
+	if err != nil {
+		obs.Fatal(err)
+	}
 
 	httpSrv := &http.Server{
 		Handler:           srvr.Handler(),
@@ -77,7 +88,8 @@ func Main(prog string, args []string) {
 		obs.Fatal(err)
 	}
 	obs.Logger().Info("mocktailsd listening", "addr", ln.Addr().String(),
-		"store_budget", budgetBytes, "shards", *shards, "max_streams", *maxStreams)
+		"store_budget", budgetBytes, "shards", *shards, "max_streams", *maxStreams,
+		"disk_dir", *diskDir, "disk_budget", diskBudgetBytes)
 
 	sigCtx, cancelSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancelSig()

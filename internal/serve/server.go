@@ -56,6 +56,14 @@ type Config struct {
 	// stream (0 = 1, i.e. generate on the handler goroutine; output is
 	// bit-identical for any value).
 	SynthWorkers int
+	// DiskDir, when non-empty, enables the store's disk tier: uploads
+	// are written through as flat files, RAM eviction demotes instead
+	// of discarding, and cold requests are served by memory-mapping the
+	// flat file — so the servable profile set is bounded by DiskBudget
+	// rather than StoreBudget.
+	DiskDir string
+	// DiskBudget bounds the disk tier's bytes (0 = unlimited).
+	DiskBudget int64
 	// Debug mounts the obs debug surface (net/http/pprof + expvar)
 	// under /debug/ on the server's own mux, reusing the one handler
 	// instead of opening a second listener.
@@ -109,12 +117,23 @@ type Server struct {
 	active atomic.Int64
 }
 
-// NewServer returns a Server with the given configuration.
-func NewServer(cfg Config) *Server {
+// NewServer returns a Server with the given configuration. The error
+// is always nil unless a disk tier is configured and its directory
+// cannot be created or indexed.
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	store, err := NewTieredStore(StoreConfig{
+		Shards:     cfg.Shards,
+		Budget:     cfg.StoreBudget,
+		DiskDir:    cfg.DiskDir,
+		DiskBudget: cfg.DiskBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:     cfg,
-		store:   NewStore(cfg.Shards, cfg.StoreBudget),
+		store:   store,
 		mux:     http.NewServeMux(),
 		global:  newLimiter(cfg.MaxInflight),
 		fits:    newLimiter(cfg.MaxFits),
@@ -128,7 +147,7 @@ func NewServer(cfg Config) *Server {
 	if cfg.Debug {
 		s.mux.Handle("/debug/", obs.DebugHandler())
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the server's HTTP handler.
@@ -201,10 +220,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	diskBytes, diskFiles := s.store.DiskStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"profiles":       s.store.Len(),
 		"store_bytes":    s.store.Bytes(),
+		"disk_bytes":     diskBytes,
+		"disk_files":     diskFiles,
 		"active_streams": s.active.Load(),
 	})
 }
@@ -282,19 +304,61 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, uploadResponse{Meta: meta, Deduped: !added})
 }
 
+// Download media types. Flat downloads are the raw zero-copy encoding
+// (docs/FORMAT.md); gz downloads are the canonical varint encoding
+// wrapped in gzip, the portable interchange format.
+const (
+	contentTypeFlat = "application/x-mocktails-flat-profile"
+	contentTypeGz   = "application/gzip"
+)
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if r.URL.Query().Get("download") != "" {
+	if dl := r.URL.Query().Get("download"); dl != "" {
 		pin, ok := s.store.Acquire(id)
 		if !ok {
 			writeError(w, http.StatusNotFound, "no profile %q", id)
 			return
 		}
 		defer pin.Release()
-		w.Header().Set("Content-Type", "application/gzip")
+		// The response always advertises the encoding actually sent:
+		// download=gz or download=flat force one, any other truthy value
+		// means "as stored" — flat for entries backed by the disk tier's
+		// mapping, gz for decoded heap residents.
+		format := dl
+		if dl != "gz" && dl != "flat" {
+			if pin.Flat() != nil {
+				format = "flat"
+			} else {
+				format = "gz"
+			}
+		}
+		ctx := r.Context()
 		w.Header().Set("X-Mocktails-Profile", id)
-		if err := profile.WriteGzip(w, pin.Profile()); err != nil {
-			obs.FromContext(r.Context()).Debug("profile download aborted", "id", id, "err", err)
+		switch format {
+		case "flat":
+			buf := []byte(nil)
+			if f := pin.Flat(); f != nil {
+				buf = f.Bytes()
+			} else {
+				var err error
+				if buf, err = profile.MarshalFlat(pin.Profile()); err != nil {
+					writeError(w, http.StatusInternalServerError, "encoding profile: %v", err)
+					return
+				}
+			}
+			w.Header().Set("Content-Type", contentTypeFlat)
+			w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+flatExt))
+			w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+			if _, err := w.Write(buf); err != nil {
+				obs.FromContext(ctx).Debug("profile download aborted", "id", id, "err", err)
+			}
+		case "gz":
+			w.Header().Set("Content-Type", contentTypeGz)
+			w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".profile.gz"))
+			if err := profile.WriteGzip(w, pin.Profile()); err != nil {
+				obs.FromContext(ctx).Debug("profile download aborted", "id", id, "err", err)
+			}
 		}
 		return
 	}
@@ -341,14 +405,16 @@ func (s *Server) handleSynth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer pin.Release()
-	p := pin.Profile()
-	count := uint64(p.Requests())
+	count := pin.Meta().Requests
 	if opts.N > 0 && opts.N < count {
 		count = opts.N
 	}
 
 	ctx := r.Context()
-	src := synth.New(p, opts.Seed, synth.Workers(s.cfg.SynthWorkers), synth.Context(ctx))
+	// The view is either the decoded heap profile or a zero-copy flat
+	// mapping promoted from the disk tier; synthesis is byte-identical
+	// from both, so clients cannot tell a cold hit from a warm one.
+	src := synth.NewFrom(pin.View(), opts.Seed, synth.Workers(s.cfg.SynthWorkers), synth.Context(ctx))
 	defer src.Close()
 
 	mActiveStreams.Set(float64(s.active.Add(1)))

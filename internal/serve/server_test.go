@@ -19,7 +19,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := NewServer(cfg)
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -465,5 +468,111 @@ func TestParseBytes(t *testing.T) {
 		if (err != nil) != tc.err || got != tc.want {
 			t.Errorf("ParseBytes(%q) = %d, %v; want %d, err=%v", tc.in, got, err, tc.want, tc.err)
 		}
+	}
+}
+
+// TestDownloadAdvertisesEncoding pins the download contract: the
+// response Content-Type and Content-Disposition always describe the
+// encoding actually sent — gz for heap residents, flat for disk-tier
+// promotions — and either encoding can be forced explicitly.
+func TestDownloadAdvertisesEncoding(t *testing.T) {
+	s, ts := newTestServer(t, Config{DiskDir: t.TempDir()})
+	p := testProfile(t, 11)
+	meta := uploadProfile(t, ts, p)
+
+	get := func(q string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/profiles/" + meta.ID + "?download=" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("download=%s: status %d err %v", q, resp.StatusCode, err)
+		}
+		return resp, body
+	}
+	checkGz := func(resp *http.Response, body []byte) {
+		t.Helper()
+		if ct := resp.Header.Get("Content-Type"); ct != contentTypeGz {
+			t.Fatalf("Content-Type %q, want %q", ct, contentTypeGz)
+		}
+		if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, meta.ID+".profile.gz") {
+			t.Fatalf("Content-Disposition %q lacks gz filename", cd)
+		}
+		rt, err := profile.ReadGzip(bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id, _, _ := ProfileID(rt); id != meta.ID {
+			t.Fatalf("gz body re-addresses to %s", id)
+		}
+	}
+	checkFlat := func(resp *http.Response, body []byte) {
+		t.Helper()
+		if ct := resp.Header.Get("Content-Type"); ct != contentTypeFlat {
+			t.Fatalf("Content-Type %q, want %q", ct, contentTypeFlat)
+		}
+		if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, meta.ID+flatExt) {
+			t.Fatalf("Content-Disposition %q lacks flat filename", cd)
+		}
+		f, err := profile.OpenFlat(body)
+		if err != nil {
+			t.Fatalf("flat body does not open: %v", err)
+		}
+		if id, _, _ := ProfileID(f.Profile()); id != meta.ID {
+			t.Fatalf("flat body re-addresses to %s", id)
+		}
+	}
+
+	// Heap-backed: stored encoding is gz; both encodings can be forced.
+	resp, body := get("1")
+	checkGz(resp, body)
+	resp, body = get("flat")
+	checkFlat(resp, body)
+
+	// Demote, so the next acquire promotes a flat mapping: the stored
+	// encoding is now flat, and gz can still be forced.
+	if !s.Store().Demote(meta.ID) {
+		t.Fatal("Demote failed")
+	}
+	resp, body = get("1")
+	checkFlat(resp, body)
+	resp, body = get("gz")
+	checkGz(resp, body)
+}
+
+// TestSynthColdHitByteIdentical streams the same synthesis twice over
+// HTTP — once warm (heap resident), once cold (promoted from the disk
+// tier) — and requires identical bytes, the tier's core invariant.
+func TestSynthColdHitByteIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{DiskDir: t.TempDir()})
+	p := testProfile(t, 12)
+	meta := uploadProfile(t, ts, p)
+
+	stream := func() []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/profiles/"+meta.ID+"/synth?seed=5", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("synth: status %d err %v", resp.StatusCode, err)
+		}
+		return body
+	}
+	warm := stream()
+	if !s.Store().Demote(meta.ID) {
+		t.Fatal("Demote failed")
+	}
+	cold := stream()
+	if !bytes.Equal(warm, cold) {
+		t.Fatalf("cold stream differs from warm (%d vs %d bytes)", len(cold), len(warm))
+	}
+	if want := offlineBin(t, p, 5, 0); !bytes.Equal(cold, want) {
+		t.Fatal("cold stream differs from offline synthesis")
 	}
 }

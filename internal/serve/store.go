@@ -58,12 +58,18 @@ type Meta struct {
 	Bytes    int64  `json:"bytes"`
 }
 
-// entry is one resident profile. refs counts outstanding Pins; an entry
-// with refs > 0 is never evicted (a synthesis mid-stream must keep its
-// profile). elem is the entry's node in the shard's LRU list.
+// entry is one resident profile, backed by exactly one of two
+// representations: a decoded heap profile (fresh uploads) or a
+// zero-copy flat view over a memory-mapped disk-tier file (cold hits
+// promoted from disk). Synthesis consumes either through profile.View,
+// so the representations are interchangeable and byte-identical in
+// output. refs counts outstanding Pins; an entry with refs > 0 is
+// never evicted (a synthesis mid-stream must keep its profile). elem
+// is the entry's node in the shard's LRU list.
 type entry struct {
 	meta Meta
-	p    *profile.Profile
+	heap *profile.Profile
+	flat *profile.Flat
 	refs int
 	elem *list.Element
 }
@@ -89,24 +95,55 @@ type shard struct {
 type Store struct {
 	shards []shard
 
+	// disk is the optional second tier: flat profile files bounded by
+	// their own (typically much larger) byte budget. nil for RAM-only
+	// stores.
+	disk *diskTier
+
 	// totalBytes/totalCount mirror the summed shard occupancy for O(1)
 	// reads and gauge updates.
 	totalBytes atomic.Int64
 	totalCount atomic.Int64
 }
 
-// NewStore returns a store with nshards shards (<= 0 selects
+// StoreConfig configures a tiered store.
+type StoreConfig struct {
+	// Shards is the RAM-tier shard count (<= 0 selects DefaultShards).
+	Shards int
+	// Budget bounds resident canonical-encoded profile bytes in RAM
+	// (<= 0 means unlimited).
+	Budget int64
+	// DiskDir, when non-empty, enables the disk tier: every upload is
+	// written through as a content-addressed flat file, RAM eviction
+	// becomes demotion, and a cold Acquire promotes by mmapping the
+	// file — so the set of servable profiles is bounded by DiskBudget,
+	// not Budget.
+	DiskDir string
+	// DiskBudget bounds the disk tier's bytes (<= 0 means unlimited).
+	DiskBudget int64
+}
+
+// NewStore returns a RAM-only store with nshards shards (<= 0 selects
 // DefaultShards) and a total byte budget (<= 0 means unlimited). The
 // budget is divided evenly across shards; because each shard enforces
 // its slice independently, the store as a whole never exceeds budget.
 func NewStore(nshards int, budget int64) *Store {
+	s, _ := NewTieredStore(StoreConfig{Shards: nshards, Budget: budget})
+	return s
+}
+
+// NewTieredStore returns a store with the given configuration,
+// creating (and re-indexing) the disk-tier directory when one is
+// configured. The error is always nil for a RAM-only configuration.
+func NewTieredStore(cfg StoreConfig) (*Store, error) {
+	nshards := cfg.Shards
 	if nshards <= 0 {
 		nshards = DefaultShards
 	}
 	s := &Store{shards: make([]shard, nshards)}
 	per := int64(0)
-	if budget > 0 {
-		per = budget / int64(nshards)
+	if cfg.Budget > 0 {
+		per = cfg.Budget / int64(nshards)
 		if per == 0 {
 			per = 1
 		}
@@ -116,7 +153,14 @@ func NewStore(nshards int, budget int64) *Store {
 		s.shards[i].entries = make(map[string]*entry)
 		s.shards[i].lru = list.New()
 	}
-	return s
+	if cfg.DiskDir != "" {
+		d, err := newDiskTier(cfg.DiskDir, cfg.DiskBudget)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = d
+	}
+	return s, nil
 }
 
 // ProfileID returns the store's content address for p — the hex SHA-256
@@ -168,6 +212,15 @@ func (s *Store) Put(p *profile.Profile) (Meta, bool, error) {
 		Requests: uint64(p.Requests()),
 		Bytes:    size,
 	}
+	// Write through to the disk tier before taking the shard lock: once
+	// the flat file exists, RAM eviction is a pure demotion (drop the
+	// entry, the bytes are already on disk) and never does IO under the
+	// lock. A write failure only degrades this profile to RAM-only.
+	if s.disk != nil {
+		if werr := s.disk.write(id, p); werr != nil {
+			obs.Logger().Warn("disk tier write failed; profile is RAM-only", "id", id, "err", werr)
+		}
+	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -176,29 +229,38 @@ func (s *Store) Put(p *profile.Profile) (Meta, bool, error) {
 		mStoreDedupe.Inc()
 		return e.meta, false, nil
 	}
+	if err := s.admit(sh, &entry{meta: meta, heap: p}); err != nil {
+		return Meta{}, false, err
+	}
+	mStoreUploads.Inc()
+	return meta, true, nil
+}
+
+// admit inserts a fully-constructed entry into sh, evicting to make
+// room. Caller holds sh.mu.
+func (s *Store) admit(sh *shard, e *entry) error {
+	size := e.meta.Bytes
 	if sh.budget > 0 {
 		if size > sh.budget {
 			mStoreRejected.Inc()
-			return Meta{}, false, fmt.Errorf("%w: profile is %d bytes, shard budget is %d", ErrStoreFull, size, sh.budget)
+			return fmt.Errorf("%w: profile is %d bytes, shard budget is %d", ErrStoreFull, size, sh.budget)
 		}
 		// Evict from the LRU tail, skipping pinned entries: a profile
 		// feeding an in-flight stream must stay resident.
 		for sh.bytes+size > sh.budget {
 			if !s.evictOne(sh) {
 				mStoreRejected.Inc()
-				return Meta{}, false, fmt.Errorf("%w: %d bytes resident are pinned by active streams", ErrStoreFull, sh.bytes)
+				return fmt.Errorf("%w: %d bytes resident are pinned by active streams", ErrStoreFull, sh.bytes)
 			}
 		}
 	}
-	e := &entry{meta: meta, p: p}
 	e.elem = sh.lru.PushFront(e)
-	sh.entries[id] = e
+	sh.entries[e.meta.ID] = e
 	sh.bytes += size
 	s.totalBytes.Add(size)
 	s.totalCount.Add(1)
-	mStoreUploads.Inc()
 	s.updateGauges()
-	return meta, true, nil
+	return nil
 }
 
 // evictOne removes the least-recently-used unpinned entry of sh,
@@ -209,56 +271,164 @@ func (s *Store) evictOne(sh *shard) bool {
 		if e.refs > 0 {
 			continue
 		}
-		sh.lru.Remove(el)
-		delete(sh.entries, e.meta.ID)
-		sh.bytes -= e.meta.Bytes
-		s.totalBytes.Add(-e.meta.Bytes)
-		s.totalCount.Add(-1)
+		s.dropLocked(sh, e)
 		mStoreEvicted.Inc()
-		s.updateGauges()
 		return true
 	}
 	return false
 }
 
-// Pin is a reference to a resident profile. The profile is guaranteed
-// to stay resident (never evicted) until Release; Release is safe to
-// call more than once.
-type Pin struct {
-	s    *Store
-	sh   *shard
-	e    *entry
-	once sync.Once
+// dropLocked removes an unpinned entry from sh, releasing its mapping
+// if it was flat-backed and counting a demotion when a disk-tier copy
+// keeps the profile servable. Caller holds sh.mu and has checked
+// e.refs == 0.
+func (s *Store) dropLocked(sh *shard, e *entry) {
+	sh.lru.Remove(e.elem)
+	delete(sh.entries, e.meta.ID)
+	sh.bytes -= e.meta.Bytes
+	s.totalBytes.Add(-e.meta.Bytes)
+	s.totalCount.Add(-1)
+	if e.flat != nil {
+		e.flat.Close()
+		e.flat = nil
+	}
+	if s.disk != nil && s.disk.has(e.meta.ID) {
+		mDiskDemotions.Inc()
+	}
+	s.updateGauges()
 }
 
-// Acquire pins the profile with the given ID, bumping its recency. The
-// second return is false when no such profile is resident.
-func (s *Store) Acquire(id string) (*Pin, bool) {
+// Demote forces the profile out of the RAM tier, leaving any disk-tier
+// copy in place: the next Acquire is a cold hit served by mmap. It
+// returns false when the profile is not resident or is pinned by an
+// active stream. Without a disk tier this is a forced eviction.
+func (s *Store) Demote(id string) bool {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.entries[id]
-	if !ok {
+	if !ok || e.refs > 0 {
+		return false
+	}
+	s.dropLocked(sh, e)
+	return true
+}
+
+// Pin is a reference to a resident profile. The profile is guaranteed
+// to stay resident (never evicted) until Release; Release is safe to
+// call more than once. A pin from a cold disk-tier hit that could not
+// be admitted to RAM (everything resident was pinned) is private: it
+// serves this caller only and its mapping is released with the pin.
+type Pin struct {
+	s       *Store
+	sh      *shard
+	e       *entry
+	private bool
+	once    sync.Once
+}
+
+// Acquire pins the profile with the given ID, bumping its recency. A
+// RAM miss falls through to the disk tier: the flat file is promoted
+// by memory-mapping it — a header parse, no decode, no copy — and
+// admitted as a resident entry (demoting colder ones as needed). The
+// second return is false when neither tier holds the profile.
+func (s *Store) Acquire(id string) (*Pin, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if e, ok := sh.entries[id]; ok {
+		e.refs++
+		sh.lru.MoveToFront(e.elem)
+		sh.mu.Unlock()
+		mStoreHits.Inc()
+		return &Pin{s: s, sh: sh, e: e}, true
+	}
+	sh.mu.Unlock()
+	if s.disk == nil {
 		mStoreMisses.Inc()
 		return nil, false
 	}
+	// Cold hit: map the file outside the lock (the open is O(header),
+	// but still IO), then re-check — a concurrent Acquire may have
+	// promoted the same profile while we were mapping.
+	f := s.disk.open(id)
+	if f == nil {
+		mStoreMisses.Inc()
+		return nil, false
+	}
+	e := &entry{meta: flatMeta(id, f), flat: f}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prior, ok := sh.entries[id]; ok {
+		f.Close()
+		prior.refs++
+		sh.lru.MoveToFront(prior.elem)
+		mStoreHits.Inc()
+		return &Pin{s: s, sh: sh, e: prior}, true
+	}
+	mStoreMisses.Inc() // it was not resident, even though the disk saved it
+	mDiskPromotions.Inc()
+	if err := s.admit(sh, e); err != nil {
+		// RAM is wedged with pinned entries; serve this caller from a
+		// private mapping rather than failing a profile the store holds.
+		e.refs = 1
+		return &Pin{s: s, sh: sh, e: e, private: true}, true
+	}
 	e.refs++
-	sh.lru.MoveToFront(e.elem)
-	mStoreHits.Inc()
 	return &Pin{s: s, sh: sh, e: e}, true
 }
 
-// Profile returns the pinned profile. The caller must not mutate it —
-// the same value is shared by every concurrent stream.
-func (p *Pin) Profile() *profile.Profile { return p.e.p }
+// flatMeta reconstructs store metadata from a flat profile's header.
+// The ID is trusted from the file name: it was content-addressed when
+// written, and the tier directory is owned by the store.
+func flatMeta(id string, f *profile.Flat) Meta {
+	return Meta{
+		ID:       id,
+		Name:     f.Name(),
+		Config:   f.Config(),
+		Leaves:   f.NumLeaves(),
+		Requests: uint64(f.Requests()),
+		Bytes:    f.CanonicalBytes(),
+	}
+}
+
+// View returns the pinned profile as a synthesis view — the heap
+// profile or the zero-copy flat mapping, whichever backs the entry.
+// Synthesis output is byte-identical either way.
+func (p *Pin) View() profile.View {
+	if p.e.heap != nil {
+		return p.e.heap
+	}
+	return p.e.flat
+}
+
+// Flat returns the flat view backing the pin, or nil for a heap-backed
+// entry.
+func (p *Pin) Flat() *profile.Flat { return p.e.flat }
+
+// Profile returns the pinned profile as a heap profile. For a
+// flat-backed entry this materialises a deep copy on every call —
+// prefer View for synthesis; Profile is for paths that need the
+// concrete type, like canonical re-encoding. The caller must not
+// mutate a heap-backed result — the same value is shared by every
+// concurrent stream.
+func (p *Pin) Profile() *profile.Profile {
+	if p.e.heap != nil {
+		return p.e.heap
+	}
+	return p.e.flat.Profile()
+}
 
 // Meta returns the pinned profile's metadata.
 func (p *Pin) Meta() Meta { return p.e.meta }
 
 // Release drops the pin, making the profile evictable again once no
-// other pins remain.
+// other pins remain. Releasing a private pin unmaps its file.
 func (p *Pin) Release() {
 	p.once.Do(func() {
+		if p.private {
+			p.e.flat.Close()
+			return
+		}
 		p.sh.mu.Lock()
 		p.e.refs--
 		p.sh.mu.Unlock()
@@ -266,38 +436,77 @@ func (p *Pin) Release() {
 }
 
 // Meta returns the metadata of the profile with the given ID without
-// pinning it or touching its recency.
+// pinning it or promoting it into RAM. A profile demoted to the disk
+// tier answers from its flat header (an mmap + header parse).
 func (s *Store) Meta(id string) (Meta, bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	e, ok := sh.entries[id]
-	if !ok {
+	if ok {
+		m := e.meta
+		sh.mu.RUnlock()
+		return m, true
+	}
+	sh.mu.RUnlock()
+	if s.disk == nil {
 		return Meta{}, false
 	}
-	return e.meta, true
+	return s.diskMeta(id)
 }
 
-// List returns the metadata of every resident profile, ordered by ID.
+// diskMeta reads a disk-tier profile's metadata from its flat header.
+func (s *Store) diskMeta(id string) (Meta, bool) {
+	f := s.disk.open(id)
+	if f == nil {
+		return Meta{}, false
+	}
+	m := flatMeta(id, f)
+	f.Close()
+	return m, true
+}
+
+// List returns the metadata of every servable profile — RAM residents
+// plus profiles currently demoted to the disk tier — ordered by ID.
 func (s *Store) List() []Meta {
 	var all []Meta
+	resident := make(map[string]bool)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for _, e := range sh.entries {
 			all = append(all, e.meta)
+			resident[e.meta.ID] = true
 		}
 		sh.mu.RUnlock()
+	}
+	if s.disk != nil {
+		for _, id := range s.disk.ids() {
+			if resident[id] {
+				continue
+			}
+			if m, ok := s.diskMeta(id); ok {
+				all = append(all, m)
+			}
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
 	return all
 }
 
-// Bytes returns the total canonical-encoded bytes resident.
+// Bytes returns the total canonical-encoded bytes resident in RAM.
 func (s *Store) Bytes() int64 { return s.totalBytes.Load() }
 
-// Len returns the number of resident profiles.
+// Len returns the number of profiles resident in RAM.
 func (s *Store) Len() int { return int(s.totalCount.Load()) }
+
+// DiskStats returns the disk tier's occupancy: flat-file bytes and
+// file count. Both are zero for a RAM-only store.
+func (s *Store) DiskStats() (bytes int64, files int) {
+	if s.disk == nil {
+		return 0, 0
+	}
+	return s.disk.stats()
+}
 
 func (s *Store) updateGauges() {
 	mStoreBytes.Set(float64(s.totalBytes.Load()))

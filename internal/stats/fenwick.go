@@ -74,3 +74,53 @@ func (f *Fenwick) Find(pick uint64) int {
 	}
 	return pos
 }
+
+// The free-function kernels below operate on a caller-provided tree
+// slice (classic 1-indexed layout, tree[0] unused, len = weights+1)
+// instead of a heap-allocated Fenwick value. They exist for callers
+// that carve many small trees out of one arena — a synthesis run builds
+// one tree per large Markov row — where per-tree allocations and
+// pointer indirection would dominate. Semantics match the methods
+// above exactly.
+
+// FenBuild initialises tree (len(weights)+1 elements, any prior
+// contents) with the partial sums of weights in O(n).
+func FenBuild(tree []uint64, weights []uint32) {
+	n := len(weights)
+	tree[0] = 0
+	for i := range weights {
+		tree[i+1] = 0
+	}
+	for i, w := range weights {
+		j := i + 1
+		tree[j] += uint64(w)
+		if p := j + (j & -j); p <= n {
+			tree[p] += tree[j]
+		}
+	}
+}
+
+// FenDec decreases the weight at index i (0-based) by one.
+func FenDec(tree []uint64, i int) {
+	for j := i + 1; j < len(tree); j += j & -j {
+		tree[j]--
+	}
+}
+
+// FenFind is Find over a caller-provided tree: the smallest index whose
+// cumulative weight exceeds pick. The probe width is recomputed from
+// the tree length; pick must be below the tree's total.
+func FenFind(tree []uint64, pick uint64) int {
+	hibit := 1
+	for hibit<<1 <= len(tree)-1 {
+		hibit <<= 1
+	}
+	pos := 0
+	for b := hibit; b > 0; b >>= 1 {
+		if next := pos + b; next < len(tree) && tree[next] <= pick {
+			pos = next
+			pick -= tree[next]
+		}
+	}
+	return pos
+}

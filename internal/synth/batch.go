@@ -3,6 +3,7 @@ package synth
 import (
 	"sync"
 
+	"repro/internal/markov"
 	"repro/internal/profile"
 	"repro/internal/trace"
 )
@@ -74,23 +75,26 @@ type batchMerger struct {
 
 // init builds the stream for one leaf in place — generator construction
 // plus the first chunk fill — returning false for an empty leaf. It does
-// all the per-leaf setup work and touches nothing shared (eager arena
-// regions are disjoint), so New fans calls to it across workers. A leaf
+// all the per-leaf setup work and touches nothing shared (arena regions
+// are disjoint), so NewFrom fans calls to it across workers. A leaf
 // whose full output fits one batch is generated eagerly with a
 // stack-local generator into buf, its region of the shared arena; only
-// larger leaves keep a heap generator alive for chunked refills.
-func (s *leafStream) init(l *profile.Leaf, seed uint64, batch int, buf []trace.Request) bool {
+// larger leaves keep a heap generator alive for chunked refills. l may
+// be a stack-transient view over a flat buffer: nothing retains it past
+// this call (leafGen copies the scalars and slice views it needs).
+func (s *leafStream) init(l *profile.Leaf, seed uint64, batch int, buf []trace.Request, ar *markov.Arena) bool {
 	if l.Count == 0 {
 		return false
 	}
 	if c := int(l.Count); c <= batch {
 		var g leafGen
-		g.init(l, seed)
+		g.init(l, seed, ar)
 		g.fill(buf[:c])
 		s.cur, s.eof = buf[:c], true
 		return true
 	}
-	s.gen = newLeafGen(l, seed)
+	s.gen = new(leafGen)
+	s.gen.init(l, seed, ar)
 	s.slabs[0] = make([]trace.Request, batch)
 	n := s.gen.fill(s.slabs[0])
 	s.cur = s.slabs[0][:n]
