@@ -18,7 +18,10 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -416,5 +419,164 @@ func BenchmarkHRDSynthesize(b *testing.B) {
 		if got := hrd.Synthesize(m, uint64(i)); len(got) != len(tr) {
 			b.Fatal("short synthesis")
 		}
+	}
+}
+
+// writeIngestTrace tiles the HEVC1 proxy trace end to end `tiles` times
+// and writes it as a gz trace file, returning the path and the request
+// count. The tiled trace is dropped before returning so only the file,
+// not a slice, survives into the benchmark iterations.
+func writeIngestTrace(b *testing.B, tiles int) (string, int) {
+	b.Helper()
+	base := hevc1(b)
+	span := base[len(base)-1].Time + 1
+	big := make(trace.Trace, 0, len(base)*tiles)
+	for t := 0; t < tiles; t++ {
+		off := span * uint64(t)
+		for _, r := range base {
+			r.Time += off
+			big = append(big, r)
+		}
+	}
+	path := filepath.Join(b.TempDir(), "ingest.trace.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := trace.WriteGzip(f, big); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path, len(big)
+}
+
+func ingestMaterialized(path string, cfg core.Config) (*profile.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.ReadGzip(f)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build("ingest", tr, cfg)
+}
+
+func ingestStream(path string, cfg core.Config) (*profile.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := trace.NewDecoder(f)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildStream("ingest", d, cfg)
+}
+
+// measurePeakHeap runs fn while a sampler goroutine polls
+// runtime.ReadMemStats every millisecond, and returns the peak HeapAlloc
+// over the pre-fn baseline. A GC runs before the baseline so the
+// measurement starts from a settled heap.
+func measurePeakHeap(fn func()) uint64 {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak atomic.Uint64
+	peak.Store(base.HeapAlloc)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	fn()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak.Load() {
+		peak.Store(ms.HeapAlloc)
+	}
+	close(stop)
+	<-done
+	return peak.Load() - base.HeapAlloc
+}
+
+// BenchmarkIngest contrasts the two ingestion paths on a long trace (the
+// HEVC1 proxy tiled 64x, ~2.5M requests, read from a gz file):
+// "materialized" decodes the whole trace into memory before fitting,
+// "stream" feeds the incremental decoder straight into the streaming
+// partitioner so peak heap tracks the fit frontier rather than the
+// trace. Both use the paper's CPU-port partitioning (100k-request
+// temporal intervals, §V) and must content-address identically; each
+// sub-benchmark reports peak-B/op, the sampled high-water heap mark of
+// one iteration. Tracked in BENCH_ingest.json.
+func BenchmarkIngest(b *testing.B) {
+	path, nreq := writeIngestTrace(b, 64)
+	cfg := core.CPUPortConfig()
+
+	pm, err := ingestMaterialized(path, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := ingestStream(path, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idM, _, err := serve.ProfileID(pm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idS, _, err := serve.ProfileID(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if idM != idS {
+		b.Fatalf("streaming fit %s diverges from materialized fit %s", idS, idM)
+	}
+	pm, ps = nil, nil
+
+	for _, c := range []struct {
+		name string
+		fn   func(string, core.Config) (*profile.Profile, error)
+	}{
+		{"materialized", ingestMaterialized},
+		{"stream", ingestStream},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var peak uint64
+			for i := 0; i < b.N; i++ {
+				sample := measurePeakHeap(func() {
+					p, err := c.fn(path, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(p.Leaves) == 0 {
+						b.Fatal("empty profile")
+					}
+				})
+				if sample > peak {
+					peak = sample
+				}
+			}
+			b.ReportMetric(float64(peak), "peak-B/op")
+			b.SetBytes(int64(nreq) * trace.RequestMemBytes)
+		})
 	}
 }

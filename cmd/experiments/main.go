@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -31,14 +33,18 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/profile"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
 // benchRow is one -bench-json record, mirroring testing.B's key metrics.
+// PeakBytes is only set by the ingestion rows, where the sampled heap
+// high-water mark is the tracked quantity.
 type benchRow struct {
-	Name    string `json:"name"`
-	NsPerOp int64  `json:"ns_per_op"`
-	Allocs  uint64 `json:"allocs"`
+	Name      string `json:"name"`
+	NsPerOp   int64  `json:"ns_per_op"`
+	Allocs    uint64 `json:"allocs"`
+	PeakBytes uint64 `json:"peak_bytes,omitempty"`
 }
 
 func main() {
@@ -241,6 +247,148 @@ func profileBench(env *experiments.Env) []benchRow {
 	return rows
 }
 
+// samplePeakHeap runs fn while polling runtime.ReadMemStats every
+// millisecond and returns the peak HeapAlloc over the pre-fn baseline
+// (a GC settles the heap before the baseline is taken).
+func samplePeakHeap(fn func()) uint64 {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak atomic.Uint64
+	peak.Store(base.HeapAlloc)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	fn()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak.Load() {
+		peak.Store(ms.HeapAlloc)
+	}
+	close(stop)
+	<-done
+	return peak.Load() - base.HeapAlloc
+}
+
+// ingestBench contrasts the materialized and streaming ingestion paths
+// on a long gz trace file (the HEVC1 proxy tiled 8x), reporting the
+// sampled peak heap next to the usual timing columns. Both paths must
+// content-address to the same profile. Rows are tracked in
+// BENCH_ingest.json (where the 32x BenchmarkIngest numbers also live).
+func ingestBench(env *experiments.Env) []benchRow {
+	base := env.Trace("HEVC1")
+	const tiles = 8
+	span := base[len(base)-1].Time + 1
+	big := make(trace.Trace, 0, len(base)*tiles)
+	for t := 0; t < tiles; t++ {
+		off := span * uint64(t)
+		for _, r := range base {
+			r.Time += off
+			big = append(big, r)
+		}
+	}
+	dir, err := os.MkdirTemp("", "mocktails-ingest-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ingest.trace.gz")
+	f, err := os.Create(path)
+	if err == nil {
+		err = trace.WriteGzip(f, big)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	big = nil
+
+	cfg := core.CPUPortConfig()
+	runs := []struct {
+		name string
+		fn   func() (*profile.Profile, error)
+	}{
+		{"ingest/materialized", func() (*profile.Profile, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			tr, err := trace.ReadGzip(f)
+			if err != nil {
+				return nil, err
+			}
+			return core.Build("ingest", tr, cfg)
+		}},
+		{"ingest/stream", func() (*profile.Profile, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			d, err := trace.NewDecoder(f)
+			if err != nil {
+				return nil, err
+			}
+			return core.BuildStream("ingest", d, cfg)
+		}},
+	}
+
+	var rows []benchRow
+	var ids []string
+	var before, after runtime.MemStats
+	for _, r := range runs {
+		var p *profile.Profile
+		var ferr error
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		peak := samplePeakHeap(func() { p, ferr = r.fn() })
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", ferr)
+			os.Exit(1)
+		}
+		id, _, err := serve.ProfileID(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		ids = append(ids, id)
+		rows = append(rows, benchRow{
+			Name:      r.name,
+			NsPerOp:   elapsed.Nanoseconds(),
+			Allocs:    after.Mallocs - before.Mallocs,
+			PeakBytes: peak,
+		})
+		fmt.Fprintf(os.Stderr, "[%s done in %v, peak %d B]\n", r.name, elapsed.Round(time.Millisecond), peak)
+	}
+	if ids[0] != ids[1] {
+		fmt.Fprintf(os.Stderr, "experiments: ingest paths diverged: %s vs %s\n", ids[0], ids[1])
+		os.Exit(1)
+	}
+	return rows
+}
+
 // runBench times each experiment serially on the shared environment and
 // writes one JSON row per experiment, followed by the synthesis rows
 // tracked in BENCH_synth.json (small = OpenCL1, merge-light; large =
@@ -270,6 +418,7 @@ func runBench(env *experiments.Env, ids []string, w io.Writer, path string) {
 	}
 	rows = append(rows, synthBench(env)...)
 	rows = append(rows, profileBench(env)...)
+	rows = append(rows, ingestBench(env)...)
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

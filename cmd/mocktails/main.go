@@ -14,9 +14,16 @@
 //	mocktails analyze -in workload.trace.gz [-top 8]
 //	mocktails compare -ref original.trace.gz -in synthetic.trace.gz
 //	mocktails check   -in workload.trace.gz [-seed 42] [-max-dt 1.9] [-max-stride 1.9]
+//
+// Trace inputs may be raw binary, CSV or gzip (sniffed by magic), and
+// profile/synth accept "-" for -in/-out to read stdin and write stdout,
+// so the subcommands compose into shell pipelines. `mocktails profile`
+// streams: the trace is partitioned and fitted as records are decoded,
+// in memory proportional to the fit frontier rather than the trace.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -158,13 +165,42 @@ func parseConfig(mode string, interval uint64, spatial string) (partition.Config
 	return partition.Config{Layers: layers}, nil
 }
 
+// openInput opens path for reading; "-" selects stdin, so subcommands
+// compose into shell pipelines without temp files.
+func openInput(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+// openOutput creates path for writing; "-" selects stdout (which is
+// left open on Close).
+func openOutput(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return nopWriteCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// readTrace materialises a whole trace from path ("-" = stdin). The
+// encoding — raw binary, CSV, or gzip — is sniffed from the leading
+// bytes by the incremental decoder.
 func readTrace(path string) trace.Trace {
-	f, err := os.Open(path)
+	f, err := openInput(path)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	t, err := trace.ReadGzip(f)
+	d, err := trace.NewDecoder(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	t, err := d.ReadAll()
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", path, err))
 	}
@@ -173,8 +209,8 @@ func readTrace(path string) trace.Trace {
 
 func cmdProfile(args []string) {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
-	in := fs.String("in", "", "input trace (gzip binary format)")
-	out := fs.String("out", "", "output profile")
+	in := fs.String("in", "", "input trace (bin, csv or gz, sniffed; - = stdin)")
+	out := fs.String("out", "", "output profile (- = stdout)")
 	interval := fs.Uint64("interval", 500000, "temporal partition length")
 	mode := fs.String("temporal", "cycles", "temporal scheme: cycles or requests")
 	spatial := fs.String("spatial", "dynamic", "spatial scheme: dynamic or a block size in bytes")
@@ -197,17 +233,29 @@ func cmdProfile(args []string) {
 
 	ctx, stop := of.Start("mocktails.profile")
 	defer stop()
-	t := readTraceCtx(ctx, *in)
-	pctx, psp := obs.Start(ctx, "profile")
-	p, err := core.Build(*name, t, cfg, core.Workers(*workers), core.BuildContext(pctx))
+	// The trace streams straight from the decoder into incremental
+	// partitioning and fitting (core.BuildStream): decode, partition
+	// and fit overlap, and peak memory is the fit frontier, not the
+	// trace. The profile is byte-identical to a materialised build.
+	rf, err := openInput(*in)
 	if err != nil {
 		fatal(err)
 	}
-	psp.SetCount("requests", int64(len(t)))
+	defer rf.Close()
+	d, err := trace.NewDecoder(rf)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *in, err))
+	}
+	pctx, psp := obs.Start(ctx, "profile")
+	p, err := core.BuildStream(*name, d, cfg, core.Workers(*workers), core.BuildContext(pctx))
+	if err != nil {
+		fatal(err)
+	}
+	psp.SetCount("requests", int64(d.Records()))
 	psp.SetCount("leaves", int64(len(p.Leaves)))
 	psp.End()
 	_, wsp := obs.Start(ctx, "write")
-	f, err := os.Create(*out)
+	f, err := openOutput(*out)
 	if err != nil {
 		fatal(err)
 	}
@@ -221,7 +269,11 @@ func cmdProfile(args []string) {
 		fatal(err)
 	}
 	wsp.End()
-	fmt.Println(p)
+	summary := io.Writer(os.Stdout)
+	if *out == "-" {
+		summary = os.Stderr // keep the profile bytes clean on stdout
+	}
+	fmt.Fprintln(summary, p)
 }
 
 func cmdConvert(args []string) {
@@ -266,8 +318,8 @@ func cmdConvert(args []string) {
 
 func cmdSynth(args []string) {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
-	in := fs.String("in", "", "input profile")
-	out := fs.String("out", "", "output trace")
+	in := fs.String("in", "", "input profile (gz or flat, sniffed; - = stdin)")
+	out := fs.String("out", "", "output trace (- = stdout)")
 	seed := fs.Uint64("seed", 42, "synthesis seed")
 	n := fs.Uint64("n", 0, "emit only the first n requests (0 = all)")
 	format := fs.String("format", "gz", "output format: gz, bin or csv")
@@ -290,7 +342,28 @@ func cmdSynth(args []string) {
 	_, lsp := obs.Start(ctx, "load")
 	var v profile.View
 	var name string
-	if isFlatFile(*in) {
+	if *in == "-" {
+		// Stdin is not seekable or mappable, so buffer it and sniff the
+		// encoding from the bytes — flat profiles open zero-copy over
+		// the buffer, gz profiles decode to the heap.
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		if profile.SniffFlat(data) {
+			fp, err := profile.OpenFlat(data)
+			if err != nil {
+				fatal(fmt.Errorf("stdin: %w", err))
+			}
+			v, name = fp, fp.Name()
+		} else {
+			p, err := profile.ReadGzip(bytes.NewReader(data))
+			if err != nil {
+				fatal(fmt.Errorf("stdin: %w", err))
+			}
+			v, name = p, p.Name
+		}
+	} else if isFlatFile(*in) {
 		fp, err := profile.OpenFlatFile(*in)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", *in, err))
@@ -324,7 +397,7 @@ func cmdSynth(args []string) {
 	ssp.SetCount("requests", int64(len(t)))
 	ssp.End()
 	_, wsp := obs.Start(ctx, "write")
-	o, err := os.Create(*out)
+	o, err := openOutput(*out)
 	if err != nil {
 		fatal(err)
 	}
@@ -341,7 +414,11 @@ func cmdSynth(args []string) {
 		fatal(err)
 	}
 	wsp.End()
-	fmt.Printf("synthesised %d requests from %s\n", len(t), name)
+	summary := io.Writer(os.Stdout)
+	if *out == "-" {
+		summary = os.Stderr // keep the trace bytes clean on stdout
+	}
+	fmt.Fprintf(summary, "synthesised %d requests from %s\n", len(t), name)
 }
 
 func cmdStats(args []string) {

@@ -8,6 +8,11 @@
 //	tracegen -name HEVC1 -o hevc1.trace.gz [-format gz|bin|csv]
 //	tracegen -spec gobmk -o gobmk.trace.gz
 //	tracegen -spec-file myworkload.json -o myworkload.trace.gz
+//	tracegen -name HEVC1 -format bin -o - | mocktails profile -in -
+//
+// `-o -` streams the trace to stdout (summary on stderr), so tracegen
+// can head a shell pipeline into `mocktails profile` or a chunked
+// `curl` upload to mocktailsd.
 //
 // A spec file is a JSON workload description (package synthgen): phases
 // of concurrent streams with strides, random regions, bursts and idle
@@ -17,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/obs"
@@ -99,18 +105,25 @@ func main() {
 		}
 		path = label + "." + ext
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		fatal(err)
+	// "-" streams the trace to stdout (with the summary on stderr), so
+	// tracegen heads a shell pipeline into `mocktails profile -in -`.
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
 	}
-	defer f.Close()
+	var err error
 	switch *format {
 	case "gz":
-		err = trace.WriteGzip(f, t)
+		err = trace.WriteGzip(w, t)
 	case "bin":
-		_, err = trace.WriteBinary(f, t)
+		_, err = trace.WriteBinary(w, t)
 	case "csv":
-		_, err = trace.WriteCSV(f, t)
+		_, err = trace.WriteCSV(w, t)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}
@@ -118,7 +131,11 @@ func main() {
 		fatal(err)
 	}
 	reads, writes := t.Counts()
-	fmt.Printf("wrote %s: %d requests (%d reads, %d writes), %d cycles\n",
+	sum := os.Stdout
+	if path == "-" {
+		sum = os.Stderr
+	}
+	fmt.Fprintf(sum, "wrote %s: %d requests (%d reads, %d writes), %d cycles\n",
 		path, len(t), reads, writes, t.Duration())
 }
 

@@ -14,6 +14,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/partition"
@@ -57,6 +58,24 @@ func Build(name string, t trace.Trace, cfg Config, opts ...BuildOption) (*profil
 		return nil, fmt.Errorf("core: trace %q is not sorted by time", name)
 	}
 	return profile.Build(name, t, cfg, opts...)
+}
+
+// BuildStream is Build over an incremental trace reader (see
+// trace.Decoder): the trace is partitioned and fitted single-pass as
+// records arrive, in O(open window + queued leaves + fitted models)
+// peak memory, and the profile is byte-identical to Build's for the
+// same records. Sortedness is enforced as the stream flows — a
+// timestamp regression aborts the build with the same not-sorted error
+// Build reports.
+func BuildStream(name string, rd trace.Reader, cfg Config, opts ...BuildOption) (*profile.Profile, error) {
+	p, err := profile.BuildStream(name, rd, cfg, opts...)
+	if err != nil {
+		if errors.Is(err, partition.ErrOutOfOrder) {
+			return nil, fmt.Errorf("core: trace %q is not sorted by time: %w", name, err)
+		}
+		return nil, err
+	}
+	return p, nil
 }
 
 // SynthOption configures synthesis; see SynthWorkers and SynthBatch.

@@ -121,6 +121,14 @@ func Fit(seq []int64) Model {
 		i = j
 	}
 	m.RowOff = append(m.RowOff, uint32(len(m.To)))
+	// Coalescing can leave the edge arrays far below their len(seq)-1
+	// capacity — repetitive sequences have few distinct transitions.
+	// Reallocate when the slack is material so a retained model costs
+	// O(distinct edges), not O(training sequence).
+	if cap(m.To)-len(m.To) > len(m.To)/4 {
+		m.To = slices.Clone(m.To)
+		m.N = slices.Clone(m.N)
+	}
 	m.Finish()
 	return m
 }
@@ -295,7 +303,7 @@ func (m *Model) ArenaSize() (n32, n64 int) {
 		}
 	}
 	if maxRow >= fenwickMin {
-		n32 += n                   // fenIdx
+		n32 += n                    // fenIdx
 		n64 += 2*bigEdges + bigRows // per big row: tree (e+1) + prefix sums (e)
 	}
 	if len(m.Vals) >= fenwickMin {

@@ -1,0 +1,141 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is the streaming counterpart of ForEach: a bounded worker pool
+// that accepts tasks one at a time as they are discovered, instead of
+// over an index space known up front. Submit blocks once the queue is
+// full — that backpressure is what bounds streaming ingestion's fit
+// frontier: the producer cannot race ahead of the fitters by more than
+// the queue depth.
+//
+// Determinism follows the same rule as ForEach: tasks must commit their
+// results by index (or another order-independent key), so any worker
+// count and any scheduling produce identical output. A Pool is
+// single-producer: Submit and Close must be called from one goroutine.
+type Pool struct {
+	ctx     context.Context
+	tasks   chan func()
+	wg      sync.WaitGroup
+	workers int
+	start   time.Time
+	busyNs  atomic.Int64
+	nTasks  uint64
+
+	panicked atomic.Bool
+	panicVal atomic.Value
+}
+
+// NewPool starts a pool of Workers(workers) goroutines fed by a queue
+// of the given depth (negative selects 0, an unbuffered hand-off). When
+// one worker is selected, no goroutines are started and Submit runs
+// each task inline on the caller — byte-identical to a serial loop,
+// with no synchronisation overhead.
+//
+// ctx cancellation makes Submit return the context's error instead of
+// blocking, and makes workers drain remaining queued tasks without
+// running them. A nil ctx never cancels.
+func NewPool(ctx context.Context, workers, queue int) *Pool {
+	workers = Workers(workers)
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{ctx: ctx, workers: workers, start: time.Now()}
+	mRuns.Inc()
+	if workers == 1 {
+		return p
+	}
+	p.tasks = make(chan func(), queue)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				if p.panicked.Load() || p.canceled() {
+					continue // drain without running
+				}
+				start := time.Now()
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							// First panic wins; re-raised on the caller's
+							// goroutine by Close, mirroring ForEach.
+							if p.panicked.CompareAndSwap(false, true) {
+								p.panicVal.Store(r)
+							}
+						}
+					}()
+					fn()
+				}()
+				p.busyNs.Add(int64(time.Since(start)))
+			}
+		}()
+	}
+	return p
+}
+
+func (p *Pool) canceled() bool { return p.ctx != nil && p.ctx.Err() != nil }
+
+// Submit queues fn for execution, blocking while the queue is full. It
+// returns the context's error once the pool's ctx is canceled; after
+// cancellation submitted tasks are dropped, so a caller committing
+// results by index must discard its output on a non-nil Close.
+func (p *Pool) Submit(fn func()) error {
+	if p.ctx != nil {
+		if err := p.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	p.nTasks++
+	mTasks.Add(1)
+	if p.tasks == nil {
+		start := time.Now()
+		fn() // panics propagate immediately, as in a serial loop
+		p.busyNs.Add(int64(time.Since(start)))
+		return nil
+	}
+	var done <-chan struct{}
+	if p.ctx != nil {
+		done = p.ctx.Done()
+	}
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-done:
+		return p.ctx.Err()
+	}
+}
+
+// Close waits for every submitted task to finish, records pool metrics,
+// re-raises the first worker panic on the caller's goroutine, and
+// returns the context's error if the pool was canceled (meaning some
+// tasks may not have run).
+func (p *Pool) Close() error {
+	if p.tasks != nil {
+		close(p.tasks)
+		p.wg.Wait()
+	}
+	wall := time.Since(p.start)
+	busy := p.busyNs.Load()
+	mBusyNs.Add(uint64(busy))
+	mWallNs.Add(uint64(int64(wall) * int64(p.workers)))
+	if wall > 0 && p.nTasks > 0 {
+		util := float64(busy) / (float64(wall) * float64(p.workers))
+		if util > 1 {
+			util = 1
+		}
+		mUtilization.Set(util)
+	}
+	if p.panicked.Load() {
+		panic(p.panicVal.Load())
+	}
+	if p.ctx != nil {
+		return p.ctx.Err()
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEverything: every submitted task runs exactly once,
+// across worker counts, and results committed by index match a serial
+// loop.
+func TestPoolRunsEverything(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 500
+		out := make([]int, n)
+		p := NewPool(context.Background(), workers, 4)
+		for i := 0; i < n; i++ {
+			i := i
+			if err := p.Submit(func() { out[i] = i * i }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestPoolSerialInline: a one-worker pool runs tasks on the caller's
+// goroutine during Submit, so effects are visible immediately.
+func TestPoolSerialInline(t *testing.T) {
+	p := NewPool(nil, 1, 8)
+	ran := false
+	if err := p.Submit(func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("serial pool deferred the task past Submit")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolBackpressure: with all workers busy and the queue full,
+// Submit must block until a slot frees.
+func TestPoolBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	p := NewPool(context.Background(), 2, 1)
+	var started sync.WaitGroup
+	started.Add(2)
+	for i := 0; i < 2; i++ {
+		p.Submit(func() { started.Done(); <-release })
+	}
+	started.Wait()
+	p.Submit(func() {}) // fills the queue
+	blocked := make(chan struct{})
+	go func() {
+		p.Submit(func() {}) // must block: workers busy, queue full
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("Submit did not block on a full queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit never unblocked")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolCancel: after cancellation Submit returns the context error
+// (including when it would otherwise block) and Close reports it.
+func TestPoolCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	p := NewPool(ctx, 2, 0)
+	var ran atomic.Int64
+	var started sync.WaitGroup
+	started.Add(2)
+	for i := 0; i < 2; i++ {
+		p.Submit(func() { started.Done(); ran.Add(1); <-release })
+	}
+	started.Wait()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Submit(func() { ran.Add(1) }) // blocks: unbuffered queue, workers busy
+	}()
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked Submit returned %v, want context.Canceled", err)
+	}
+	if err := p.Submit(func() { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Submit returned %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := p.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close returned %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("%d tasks ran after cancel, want only the 2 in-flight", got)
+	}
+}
+
+// TestPoolPanic: a worker panic is re-raised on the caller's goroutine
+// by Close, matching ForEach semantics.
+func TestPoolPanic(t *testing.T) {
+	p := NewPool(context.Background(), 4, 2)
+	for i := 0; i < 10; i++ {
+		i := i
+		p.Submit(func() {
+			if i == 3 {
+				panic("kaboom")
+			}
+		})
+	}
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	p.Close()
+	t.Fatal("Close did not re-raise the worker panic")
+}
+
+// TestPoolSerialPanic: a one-worker pool panics at Submit, exactly like
+// the serial loop it replaces.
+func TestPoolSerialPanic(t *testing.T) {
+	p := NewPool(nil, 1, 0)
+	defer func() {
+		if r := recover(); r != "inline" {
+			t.Fatalf("recovered %v, want inline", r)
+		}
+		p.Close()
+	}()
+	p.Submit(func() { panic("inline") })
+	t.Fatal("inline Submit did not panic")
+}
+
+// TestPoolUtilizationGauge: a pool run leaves par.utilization set, the
+// invariant the observability CI job asserts.
+func TestPoolUtilizationGauge(t *testing.T) {
+	p := NewPool(context.Background(), 2, 2)
+	for i := 0; i < 8; i++ {
+		p.Submit(func() { time.Sleep(time.Millisecond) })
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mUtilization.Value() <= 0 {
+		t.Fatalf("par.utilization = %v after a pool run", mUtilization.Value())
+	}
+}

@@ -190,19 +190,31 @@ func splitLayer(t trace.Trace, layers []Layer) []Leaf {
 	}
 	var leaves []Leaf
 	for _, p := range parts {
-		children := splitLayer(p.Reqs, layers[1:])
-		if !layers[1].Kind.Temporal() {
-			leaves = append(leaves, children...)
-			continue
-		}
-		// A temporal sub-layer inherits the parent's spatial bounds so
-		// that synthesis stays inside the spatial partition.
-		for _, c := range children {
-			c.Lo, c.Hi = p.Lo, p.Hi
-			leaves = append(leaves, c)
-		}
+		leaves = append(leaves, expandPart(p, layers[1:])...)
 	}
 	return leaves
+}
+
+// expandPart applies the remaining layers beneath a first-layer part.
+// It is shared by the materialised recursion above and the incremental
+// Streamer, so both produce leaves with identical content, bounds and
+// order for the same part.
+func expandPart(p Leaf, rest []Layer) []Leaf {
+	if len(rest) == 0 {
+		return []Leaf{p}
+	}
+	children := splitLayer(p.Reqs, rest)
+	if !rest[0].Kind.Temporal() {
+		return children
+	}
+	// A temporal sub-layer inherits the parent's spatial bounds so
+	// that synthesis stays inside the spatial partition.
+	out := make([]Leaf, 0, len(children))
+	for _, c := range children {
+		c.Lo, c.Hi = p.Lo, p.Hi
+		out = append(out, c)
+	}
+	return out
 }
 
 // byRequestCount chunks the sequence into intervals of at most n requests.

@@ -1,0 +1,287 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/trace"
+)
+
+// Streaming ingestion: the temporal first layer of a hierarchy imposes
+// exactly the structure needed to partition without the whole trace in
+// hand — a window's membership is decided the moment a request from a
+// later window arrives. The Streamer exploits that: requests are pushed
+// one at a time, and each window is expanded through the remaining
+// layers (the same expandPart the materialised Split uses) and emitted
+// as finished leaves the moment it closes. Peak memory is the open
+// window plus whatever the consumer still holds, not the trace.
+
+// Ingestion metrics, maintained by FitStream: records decoded, leaves
+// dispatched but not yet fitted (plus the open window), and the bytes
+// of trace memory in flight between the decoder and the fit frontier.
+var (
+	mIngestRecords  = obs.NewCounter("ingest.records")
+	mOpenLeaves     = obs.NewGauge("ingest.open_leaves")
+	mFrontierBytes  = obs.NewGauge("ingest.frontier_bytes")
+	mIngestFallback = obs.NewCounter("ingest.materialized_fallbacks")
+)
+
+// ErrOutOfOrder is returned by Streamer.Push (and wrapped by the
+// streaming build paths) when a request's timestamp precedes its
+// predecessor's. Temporal windows can only be closed incrementally over
+// a time-sorted stream.
+var ErrOutOfOrder = errors.New("partition: request timestamps out of order")
+
+// Streamer incrementally applies a hierarchy whose first layer is
+// temporal. Push returns the leaves of every window the new request
+// closed (usually none); Flush closes the final partial window. Each
+// window is accumulated into its own backing array, so once the
+// consumer drops a window's leaves that memory is unreachable — the
+// property streaming ingestion's O(frontier) bound rests on.
+//
+// Leaf content, bounds and order are identical to Split on the
+// materialised trace: windows close exactly where byCycleCount /
+// byRequestCount would cut them, and sub-layers run through the same
+// expansion code.
+type Streamer struct {
+	first Layer
+	rest  []Layer
+
+	cur      trace.Trace
+	started  bool
+	anchor   uint64 // first request's timestamp (cycle-count bins)
+	bin      uint64 // current cycle-count bin
+	lastTime uint64
+}
+
+// NewStreamer validates cfg and returns an incremental partitioner for
+// it. Hierarchies whose first layer is spatial cannot stream (every
+// window spans the whole trace); callers should fall back to the
+// materialised Split — FitStream does so automatically.
+func NewStreamer(cfg Config) (*Streamer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Layers[0].Kind.Temporal() {
+		return nil, fmt.Errorf("partition: streaming requires a temporal first layer, got %s", cfg.Layers[0].Kind)
+	}
+	return &Streamer{first: cfg.Layers[0], rest: cfg.Layers[1:]}, nil
+}
+
+// Push adds one request and returns the fully-expanded leaves of any
+// temporal window it closed. The returned slice is nil for most pushes.
+// Requests must arrive sorted by time; a regression returns
+// ErrOutOfOrder with the window state unchanged.
+func (s *Streamer) Push(r trace.Request) ([]Leaf, error) {
+	if s.started && r.Time < s.lastTime {
+		return nil, fmt.Errorf("%w: %d after %d", ErrOutOfOrder, r.Time, s.lastTime)
+	}
+	var closed []Leaf
+	switch s.first.Kind {
+	case TemporalCycleCount:
+		if !s.started {
+			s.anchor = r.Time
+			s.bin = 0
+		}
+		if bin := (r.Time - s.anchor) / s.first.Param; s.started && bin != s.bin {
+			closed = s.closeWindow()
+			s.bin = bin
+		}
+		s.cur = append(s.cur, r)
+	case TemporalRequestCount:
+		s.cur = append(s.cur, r)
+		if uint64(len(s.cur)) >= s.first.Param {
+			closed = s.closeWindow()
+		}
+	}
+	s.started = true
+	s.lastTime = r.Time
+	return closed, nil
+}
+
+// Flush closes the final partial window and returns its leaves. The
+// Streamer is reusable afterwards (a subsequent Push anchors a new
+// trace).
+func (s *Streamer) Flush() []Leaf {
+	if len(s.cur) == 0 {
+		s.started = false
+		return nil
+	}
+	closed := s.closeWindow()
+	s.started = false
+	return closed
+}
+
+// Open returns the number of requests buffered in the open window.
+func (s *Streamer) Open() int { return len(s.cur) }
+
+// OpenBytes returns the in-memory footprint of the open window.
+func (s *Streamer) OpenBytes() uint64 { return uint64(len(s.cur)) * trace.RequestMemBytes }
+
+func (s *Streamer) closeWindow() []Leaf {
+	sub := s.cur
+	s.cur = nil // next window gets a fresh backing array
+	lo, hi := sub.AddrRange()
+	return expandPart(Leaf{Reqs: sub, Lo: lo, Hi: hi}, s.rest)
+}
+
+// fitQueueFactor sizes FitStream's pool queue relative to the worker
+// count: deep enough to keep workers fed across uneven leaf costs,
+// shallow enough that backpressure caps the frontier at a few windows.
+const fitQueueFactor = 2
+
+// FitStream decodes requests from rd, partitions them incrementally and
+// calls fit for every leaf under the pool's concurrency, returning once
+// every leaf has been fitted. Leaf indexes are assigned in the exact
+// order Split would produce, so a fit callback that commits by index
+// reconstructs the materialised result byte-for-byte. Backpressure from
+// the bounded fit queue caps trace memory at O(open window + queued
+// leaves) — the streaming frontier.
+//
+// Hierarchies without a temporal first layer cannot stream; FitStream
+// transparently materialises the trace for those (counting
+// ingest.materialized_fallbacks), so callers get one code path for
+// every configuration. The stream must be time-sorted in either mode;
+// violations return an error wrapping ErrOutOfOrder.
+func FitStream(ctx context.Context, rd trace.Reader, cfg Config, workers int, fit func(i int, l Leaf)) (records uint64, leaves int, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	_, sp := obs.Start(ctx, "partition.stream")
+	defer func() {
+		sp.SetCount("requests", int64(records))
+		sp.SetCount("leaves", int64(leaves))
+		sp.End()
+	}()
+
+	if !cfg.Layers[0].Kind.Temporal() {
+		return fitMaterialized(ctx, rd, cfg, workers, fit)
+	}
+	st, err := NewStreamer(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	pool := par.NewPool(ctx, workers, par.Workers(workers)*fitQueueFactor)
+	var (
+		inflightLeaves atomic.Int64 // dispatched, not yet fitted
+		inflightReqs   atomic.Int64 // their request counts
+		counted        uint64       // records already flushed to mIngestRecords
+	)
+	dispatch := func(closed []Leaf) error {
+		for _, l := range closed {
+			i := leaves
+			leaves++
+			l := l
+			nr := int64(len(l.Reqs))
+			inflightLeaves.Add(1)
+			inflightReqs.Add(nr)
+			if err := pool.Submit(func() {
+				fit(i, l)
+				inflightLeaves.Add(-1)
+				inflightReqs.Add(-nr)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	gauges := func() {
+		mOpenLeaves.Set(float64(inflightLeaves.Load()))
+		mFrontierBytes.Set(float64(uint64(inflightReqs.Load())*trace.RequestMemBytes + st.OpenBytes()))
+	}
+
+	var r trace.Request
+	var rerr error
+	for {
+		if records%cancelCheckEvery == 0 && ctx != nil {
+			if rerr = ctx.Err(); rerr != nil {
+				break
+			}
+		}
+		nerr := rd.Next(&r)
+		if nerr == io.EOF {
+			rerr = dispatch(st.Flush())
+			break
+		}
+		if nerr != nil {
+			rerr = nerr
+			break
+		}
+		records++
+		closed, perr := st.Push(r)
+		if perr != nil {
+			rerr = perr
+			break
+		}
+		if rerr = dispatch(closed); rerr != nil {
+			break
+		}
+		if records%gaugeEvery == 0 {
+			mIngestRecords.Add(records - counted)
+			counted = records
+			gauges()
+		}
+	}
+	cerr := pool.Close()
+	mIngestRecords.Add(records - counted)
+	gauges()
+	mLeaves.Add(uint64(leaves))
+	if rerr == nil {
+		rerr = cerr
+	}
+	return records, leaves, rerr
+}
+
+// fitMaterialized is FitStream's fallback for hierarchies that cannot
+// stream: read everything, Split, then feed leaves through the same
+// bounded pool so fit concurrency and the callback contract match the
+// streaming path.
+func fitMaterialized(ctx context.Context, rd trace.Reader, cfg Config, workers int, fit func(i int, l Leaf)) (uint64, int, error) {
+	mIngestFallback.Inc()
+	var t trace.Trace
+	var r trace.Request
+	for {
+		err := rd.Next(&r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return uint64(len(t)), 0, err
+		}
+		t = append(t, r)
+	}
+	mIngestRecords.Add(uint64(len(t)))
+	if !t.Sorted() {
+		return uint64(len(t)), 0, ErrOutOfOrder
+	}
+	leaves, err := SplitCtx(ctx, t, cfg)
+	if err != nil {
+		return uint64(len(t)), 0, err
+	}
+	pool := par.NewPool(ctx, workers, par.Workers(workers)*fitQueueFactor)
+	var serr error
+	for i, l := range leaves {
+		i, l := i, l
+		if serr = pool.Submit(func() { fit(i, l) }); serr != nil {
+			break
+		}
+	}
+	cerr := pool.Close()
+	if serr == nil {
+		serr = cerr
+	}
+	return uint64(len(t)), len(leaves), serr
+}
+
+// cancelCheckEvery matches the streaming trace encoders' cadence: the
+// read loop notices cancellation within one batch of records.
+const cancelCheckEvery = 256
+
+// gaugeEvery is how many records pass between ingest gauge refreshes.
+const gaugeEvery = 1024

@@ -1,0 +1,63 @@
+package profile
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// BuildStream constructs the same profile Build does — byte-identical
+// under the canonical encoding, for any worker count — but pulls the
+// trace from an incremental reader instead of a materialised slice.
+// Temporal windows are fitted as they close and their trace memory is
+// released behind the fit frontier, so peak heap is O(open window +
+// queued leaves + fitted models) rather than O(trace). Hierarchies
+// whose first layer is spatial fall back to materialising internally
+// (see partition.FitStream); the result is identical either way.
+//
+// The stream must be sorted by time; violations surface as an error
+// wrapping partition.ErrOutOfOrder.
+func BuildStream(name string, rd trace.Reader, cfg partition.Config, opts ...Option) (*Profile, error) {
+	var o buildOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ctx, bsp := obs.Start(o.ctx, "profile.build_stream")
+	defer bsp.End()
+
+	// Fitted leaves are committed by the global leaf index FitStream
+	// assigns (stream order = Split order), so the Leaves slice is
+	// identical to Build's. Growth and writes happen under one lock:
+	// the final window count is unknown until the stream ends, so the
+	// slice cannot be pre-sized the way Build's can.
+	var (
+		mu  sync.Mutex
+		out []Leaf
+	)
+	records, leaves, err := partition.FitStream(ctx, rd, cfg, o.workers, func(i int, l partition.Leaf) {
+		f := fitLeaf(l)
+		mu.Lock()
+		for len(out) <= i {
+			out = append(out, Leaf{})
+		}
+		out[i] = f
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("profile: streaming build: %w", err)
+	}
+	if out == nil {
+		out = make([]Leaf, 0)
+	}
+	p := &Profile{Name: name, Config: cfg.String(), Leaves: out}
+	s := p.Stats()
+	mLeavesFitted.Add(uint64(s.Leaves))
+	mModelsMarkov.Add(uint64(s.Chains))
+	mModelsConstant.Add(uint64(s.Constants))
+	bsp.SetCount("requests", int64(records))
+	bsp.SetCount("leaves", int64(leaves))
+	return p, nil
+}

@@ -31,6 +31,7 @@ func Main(prog string, args []string) {
 	maxFits := fs.Int("max-fits", 4, "max concurrent in-process fits (0 = default, -1 = unlimited)")
 	maxInflight := fs.Int("max-inflight", 512, "max total in-flight requests (0 = default, -1 = unlimited)")
 	maxUpload := fs.String("max-upload", "1GiB", "max upload body size")
+	maxTrace := fs.String("max-trace-bytes", "0", "max decoded in-memory size of one uploaded trace (0 = unlimited); exceeding returns 413")
 	fitTimeout := fs.Duration("fit-timeout", 2*time.Minute, "timeout for one in-process fit")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-drain window after SIGTERM before in-flight streams are cut")
 	fitWorkers := fs.Int("j", 0, "fit workers per upload (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS)")
@@ -46,6 +47,10 @@ func Main(prog string, args []string) {
 	uploadBytes, err := ParseBytes(*maxUpload)
 	if err != nil {
 		obs.Fatal(fmt.Errorf("-max-upload: %w", err))
+	}
+	traceBytes, err := ParseBytes(*maxTrace)
+	if err != nil {
+		obs.Fatal(fmt.Errorf("-max-trace-bytes: %w", err))
 	}
 	diskBudgetBytes, err := ParseBytes(*diskBudget)
 	if err != nil {
@@ -65,6 +70,7 @@ func Main(prog string, args []string) {
 		MaxFits:        *maxFits,
 		MaxInflight:    *maxInflight,
 		MaxUploadBytes: uploadBytes,
+		MaxTraceBytes:  traceBytes,
 		FitTimeout:     *fitTimeout,
 		FitWorkers:     *fitWorkers,
 		SynthWorkers:   *synthWorkers,

@@ -47,6 +47,13 @@ type Config struct {
 	MaxInflight int
 	// MaxUploadBytes caps an upload's body size (0 = 1 GiB).
 	MaxUploadBytes int64
+	// MaxTraceBytes caps the in-memory footprint of one fitted trace,
+	// in trace.RequestMemBytes units per decoded record — the memory a
+	// materialised build would need (0 = unlimited). Unlike
+	// MaxUploadBytes it is enforced on decoded records, so it bounds
+	// compressed (gz) and chunked uploads whose wire size says nothing
+	// about their decoded size. Exceeding it returns 413.
+	MaxTraceBytes int64
 	// FitTimeout bounds one in-process fit (0 = 2 minutes, < 0 = none).
 	FitTimeout time.Duration
 	// FitWorkers is the worker count handed to profile fitting
@@ -241,6 +248,31 @@ type uploadResponse struct {
 	Deduped bool `json:"deduped"`
 }
 
+// errTraceTooLarge aborts a streaming fit whose decoded trace exceeds
+// Config.MaxTraceBytes. It surfaces to the client as 413.
+var errTraceTooLarge = errors.New("serve: decoded trace exceeds the configured size limit")
+
+// cappedReader enforces MaxTraceBytes in decoded-record units while the
+// fit is consuming the upload. It reads first and checks after, so the
+// record that crosses the cap is never silently dropped — the whole fit
+// aborts with errTraceTooLarge instead.
+type cappedReader struct {
+	r   trace.Reader
+	n   uint64
+	max uint64
+}
+
+func (c *cappedReader) Next(req *trace.Request) error {
+	if err := c.r.Next(req); err != nil {
+		return err
+	}
+	c.n++
+	if c.n*trace.RequestMemBytes > c.max {
+		return errTraceTooLarge
+	}
+	return nil
+}
+
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	opts, err := ParseUploadOptions(r.URL.Query())
 	if err != nil {
@@ -257,10 +289,19 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case KindTrace:
-		tr, rerr := trace.ReadGzip(body)
-		if rerr != nil {
-			writeError(w, http.StatusBadRequest, "decoding trace: %v", rerr)
+		// The body streams straight through the incremental decoder into
+		// partitioning and fitting: the fit starts as the first records
+		// arrive (chunked uploads fit while the client is still sending)
+		// and peak memory is the fit frontier, never the trace. The
+		// decoder sniffs raw binary, CSV and gzip bodies by magic.
+		d, derr := trace.NewDecoder(body)
+		if derr != nil {
+			writeError(w, http.StatusBadRequest, "decoding trace: %v", derr)
 			return
+		}
+		var rd trace.Reader = d
+		if s.cfg.MaxTraceBytes > 0 {
+			rd = &cappedReader{r: d, max: uint64(s.cfg.MaxTraceBytes)}
 		}
 		// Fit in-process under the request context plus the fit
 		// timeout: a disconnected or timed-out client stops dispatching
@@ -271,7 +312,8 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			fitCtx, cancel = context.WithTimeout(fitCtx, s.cfg.FitTimeout)
 			defer cancel()
 		}
-		p, err = core.Build(opts.Name, tr, opts.Partition, core.Workers(s.cfg.FitWorkers), core.BuildContext(fitCtx))
+		p, err = core.BuildStream(opts.Name, rd, opts.Partition, core.Workers(s.cfg.FitWorkers), core.BuildContext(fitCtx))
+		var maxBytesErr *http.MaxBytesError
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusServiceUnavailable, "fit exceeded the %s timeout", s.cfg.FitTimeout)
@@ -280,8 +322,22 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			// The client went away; the status is for the log only.
 			writeError(w, http.StatusBadRequest, "fit canceled")
 			return
+		case errors.Is(err, errTraceTooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"trace exceeds the configured decoded-size limit of %d bytes", s.cfg.MaxTraceBytes)
+			return
+		case errors.As(err, &maxBytesErr):
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"upload exceeds the %d-byte body limit", s.cfg.MaxUploadBytes)
+			return
 		case err != nil:
 			writeError(w, http.StatusBadRequest, "fitting trace: %v", err)
+			return
+		}
+		if d.Records() == 0 {
+			// The sniffing decoder treats an empty body as an empty CSV
+			// stream; a fit of nothing is a client error, not a profile.
+			writeError(w, http.StatusBadRequest, "decoding trace: empty trace")
 			return
 		}
 		mFitsServed.Inc()

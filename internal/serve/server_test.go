@@ -188,6 +188,155 @@ func TestUploadTraceFitsAndDedupes(t *testing.T) {
 	}
 }
 
+// The upload decoder sniffs by magic: the same trace delivered raw
+// binary, as CSV, and as gzip content-addresses to one profile.
+func TestUploadTraceSniffsFormats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := testTrace(5, 300)
+
+	var binBuf, csvBuf bytes.Buffer
+	if _, err := trace.WriteBinary(&binBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteCSV(&csvBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make(map[string]bool)
+	for name, body := range map[string]io.Reader{
+		"gz":  gzTraceBody(t, tr),
+		"bin": &binBuf,
+		"csv": &csvBuf,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/profiles?kind=trace&name=w5", "application/octet-stream", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ur uploadResponse
+		err = json.NewDecoder(resp.Body).Decode(&ur)
+		resp.Body.Close()
+		if err != nil || (resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK) {
+			t.Fatalf("%s upload: status %d err %v", name, resp.StatusCode, err)
+		}
+		ids[ur.ID] = true
+	}
+	if len(ids) != 1 {
+		t.Fatalf("formats content-addressed to %d distinct profiles, want 1", len(ids))
+	}
+}
+
+// A chunked upload (unknown Content-Length, body arriving through a
+// pipe) fits while the body streams in and content-addresses exactly
+// like an offline build of the same trace.
+func TestUploadTraceChunked(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tr := testTrace(6, 2000)
+	raw := gzTraceBody(t, tr).Bytes()
+
+	pr, pw := io.Pipe()
+	go func() {
+		// Dribble the body in small chunks so the fit demonstrably
+		// overlaps with the upload.
+		for len(raw) > 0 {
+			n := 512
+			if n > len(raw) {
+				n = len(raw)
+			}
+			if _, err := pw.Write(raw[:n]); err != nil {
+				return
+			}
+			raw = raw[n:]
+		}
+		pw.Close()
+	}()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/profiles?kind=trace&name=w6", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No ContentLength: the client sends Transfer-Encoding: chunked.
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur uploadResponse
+	err = json.NewDecoder(resp.Body).Decode(&ur)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("chunked upload: status %d err %v", resp.StatusCode, err)
+	}
+
+	p, err := core.Build("w6", tr, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID, _, err := ProfileID(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.ID != wantID {
+		t.Fatalf("chunked fit produced %s, offline fit %s", ur.ID, wantID)
+	}
+}
+
+// Exceeding -max-trace-bytes aborts the fit with 413 instead of
+// materialising an unbounded trace.
+func TestUploadTraceTooLarge(t *testing.T) {
+	// Budget for 100 decoded records; send 300.
+	_, ts := newTestServer(t, Config{MaxTraceBytes: 100 * trace.RequestMemBytes})
+	resp, err := http.Post(ts.URL+"/v1/profiles?kind=trace", "application/gzip", gzTraceBody(t, testTrace(7, 300)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, body)
+	}
+	// Under the cap, the same endpoint still fits.
+	resp, err = http.Post(ts.URL+"/v1/profiles?kind=trace", "application/gzip", gzTraceBody(t, testTrace(7, 50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("under-cap upload: status %d, want 201", resp.StatusCode)
+	}
+}
+
+// Exceeding -max-upload (wire bytes) also maps to 413 on the trace
+// path, surfaced through the streaming decoder.
+func TestUploadBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxUploadBytes: 256})
+	var binBuf bytes.Buffer
+	if _, err := trace.WriteBinary(&binBuf, testTrace(8, 300)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/profiles?kind=trace", "application/octet-stream", &binBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, body)
+	}
+}
+
+// An empty body is a client error, not an empty profile.
+func TestUploadEmptyTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/profiles?kind=trace", "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(body, []byte("empty trace")) {
+		t.Fatalf("status %d body %s, want 400 empty trace", resp.StatusCode, body)
+	}
+}
+
 func TestGetProfile(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	p := testProfile(t, 1)

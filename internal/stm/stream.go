@@ -1,0 +1,47 @@
+package stm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// BuildStream is Build over an incremental reader: identical output,
+// O(frontier) peak heap instead of O(trace). See profile.BuildStream —
+// the construction is the same, committing fitted leaves by the global
+// leaf index partition.FitStream assigns.
+func BuildStream(name string, rd trace.Reader, cfg partition.Config, opts ...Option) (*Profile, error) {
+	var o buildOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ctx, bsp := obs.Start(o.ctx, "stm.build_stream")
+	defer bsp.End()
+
+	var (
+		mu  sync.Mutex
+		out []Leaf
+	)
+	records, leaves, err := partition.FitStream(ctx, rd, cfg, o.workers, func(i int, l partition.Leaf) {
+		f := fitLeaf(l)
+		mu.Lock()
+		for len(out) <= i {
+			out = append(out, Leaf{})
+		}
+		out[i] = f
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stm: streaming build: %w", err)
+	}
+	if out == nil {
+		out = make([]Leaf, 0)
+	}
+	mLeavesFitted.Add(uint64(leaves))
+	bsp.SetCount("requests", int64(records))
+	bsp.SetCount("leaves", int64(leaves))
+	return &Profile{Name: name, Leaves: out}, nil
+}

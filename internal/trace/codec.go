@@ -4,12 +4,7 @@ import (
 	"bufio"
 	"compress/gzip"
 	"context"
-	"encoding/binary"
-	"errors"
-	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"repro/internal/par"
 )
@@ -50,45 +45,15 @@ func WriteBinaryCtx(ctx context.Context, w io.Writer, t Trace) (int64, error) {
 	})
 }
 
-// ReadBinary reads a trace written by WriteBinary.
+// ReadBinary reads a trace written by WriteBinary. It is a collect loop
+// over the incremental binary decoder, so the materialised and
+// streaming paths share one implementation of the format.
 func ReadBinary(r io.Reader) (Trace, error) {
-	br := bufio.NewReader(r)
-	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	d, err := newBinaryDecoder(bufio.NewReaderSize(r, streamBufSize))
+	if err != nil {
+		return nil, err
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != traceMagic {
-		return nil, errors.New("trace: bad magic")
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
-	}
-	n := binary.LittleEndian.Uint64(hdr[8:])
-	// The header's count is untrusted input: preallocate at most a
-	// modest hint and let append grow, so a corrupt or hostile header
-	// cannot demand an arbitrary allocation before any record is read.
-	hint := n
-	if hint > 1<<16 {
-		hint = 1 << 16
-	}
-	t := make(Trace, 0, hint)
-	var rec [recordSize]byte
-	for i := uint64(0); i < n; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
-		}
-		op := Op(rec[20])
-		if op != Read && op != Write {
-			return nil, fmt.Errorf("trace: record %d: bad op %d", i, rec[20])
-		}
-		t = append(t, Request{
-			Time: binary.LittleEndian.Uint64(rec[0:]),
-			Addr: binary.LittleEndian.Uint64(rec[8:]),
-			Size: binary.LittleEndian.Uint32(rec[16:]),
-			Op:   op,
-		})
-	}
-	return t, nil
+	return d.ReadAll()
 }
 
 // WriteGzip writes the binary format through a gzip compressor. This is the
@@ -161,47 +126,20 @@ func WriteCSVCtx(ctx context.Context, w io.Writer, t Trace) (int64, error) {
 }
 
 // ReadCSV reads a trace written by WriteCSV. Blank lines are ignored and a
-// header line is skipped if present.
+// header line is skipped if present. Like ReadBinary it is a collect
+// loop over the incremental decoder; an empty stream yields a nil trace.
 func ReadCSV(r io.Reader) (Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	d := newCSVDecoder(bufio.NewReader(r))
 	var t Trace
-	line := 0
-	for sc.Scan() {
-		line++
-		s := strings.TrimSpace(sc.Text())
-		if s == "" || s == "time,op,addr,size" {
-			continue
+	var req Request
+	for {
+		err := d.Next(&req)
+		if err == io.EOF {
+			return t, nil
 		}
-		fields := strings.Split(s, ",")
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", line, len(fields))
-		}
-		tm, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: time: %w", line, err)
+			return nil, err
 		}
-		var op Op
-		switch strings.TrimSpace(fields[1]) {
-		case "R", "r":
-			op = Read
-		case "W", "w":
-			op = Write
-		default:
-			return nil, fmt.Errorf("trace: line %d: bad op %q", line, fields[1])
-		}
-		addr, err := strconv.ParseUint(strings.TrimSpace(fields[2]), 16, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: addr: %w", line, err)
-		}
-		size, err := strconv.ParseUint(strings.TrimSpace(fields[3]), 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: size: %w", line, err)
-		}
-		t = append(t, Request{Time: tm, Addr: addr, Size: uint32(size), Op: op})
+		t = append(t, req)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return t, nil
 }

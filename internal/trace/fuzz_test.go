@@ -69,6 +69,67 @@ func FuzzReadCSV(f *testing.F) {
 	})
 }
 
+// FuzzStreamDecode feeds arbitrary bytes to the sniffing incremental
+// decoder and cross-checks it against the materialised reader for
+// whatever format it sniffed: both must agree on accept/reject and on
+// every decoded record. This pins the streaming and materialised
+// ingestion paths to one interpretation of each encoding.
+func FuzzStreamDecode(f *testing.F) {
+	var bin, gz bytes.Buffer
+	seed := Trace{
+		{Time: 1, Addr: 0x1000, Size: 64, Op: Read},
+		{Time: 2, Addr: 0x1040, Size: 128, Op: Write},
+	}
+	if _, err := WriteBinary(&bin, seed); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteGzip(&gz, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Add(gz.Bytes())
+	f.Add([]byte("time,op,addr,size\n1,R,1000,64\n"))
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b, 0x00})
+	f.Add(bin.Bytes()[:17])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, derr := NewDecoder(bytes.NewReader(data))
+		var streamed Trace
+		if derr == nil {
+			streamed, derr = d.ReadAll()
+		}
+
+		var mat Trace
+		var merr error
+		format := "csv"
+		if d != nil {
+			format = d.Format()
+		} else if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+			format = "gz"
+		} else if len(data) >= 4 && string(data[:4]) == "KCOM" { // LE "MOCK"
+			format = "bin"
+		}
+		switch format {
+		case "bin":
+			mat, merr = ReadBinary(bytes.NewReader(data))
+		case "gz":
+			mat, merr = ReadGzip(bytes.NewReader(data))
+		default:
+			mat, merr = ReadCSV(bytes.NewReader(data))
+		}
+
+		if (derr == nil) != (merr == nil) {
+			t.Fatalf("decoder err=%v but materialized %s reader err=%v", derr, format, merr)
+		}
+		if derr != nil {
+			return
+		}
+		if len(streamed) != len(mat) || (len(mat) > 0 && !reflect.DeepEqual(streamed, mat)) {
+			t.Fatalf("decoder and materialized %s reader disagree: %d vs %d requests", format, len(streamed), len(mat))
+		}
+	})
+}
+
 // FuzzBinaryRoundTrip builds a structurally valid trace from fuzzed
 // values and asserts both codecs reproduce it exactly.
 func FuzzBinaryRoundTrip(f *testing.F) {
