@@ -1,0 +1,22 @@
+// Command loadgen drives a mocktailsd node or cluster with synthesis
+// requests and reports achieved QPS and P50/P95/P99 latency. It is the
+// same entry point as `mocktails loadgen`.
+//
+// Closed-loop capacity ramp against a local daemon:
+//
+//	loadgen -targets http://localhost:8677 -upload w.profile.gz -c 1,4,16 -requests 500
+//
+// Open-loop at a fixed arrival rate against a 3-node cluster:
+//
+//	loadgen -targets http://h1:8677,http://h2:8677,http://h3:8677 -id $ID -qps 50 -duration 30s
+package main
+
+import (
+	"os"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	loadgen.Main("loadgen", os.Args[1:])
+}

@@ -8,7 +8,8 @@
 //	mocktails profile -in workload.trace.gz -out workload.profile.gz [-format gz|flat] [-interval 500000] [-spatial dynamic|4096] [-j N]
 //	mocktails synth   -in workload.profile.gz -out synthetic.trace.gz [-seed 42] [-n N] [-format gz|bin|csv] [-j N] [-batch N]
 //	mocktails convert -in workload.profile.gz -out workload.mfp [-to gz|flat]
-//	mocktails serve   [-addr localhost:8677] [-store-budget 256MiB] ...
+//	mocktails serve   [-addr localhost:8677] [-store-budget 256MiB] [-peers http://h2:8677,...] ...
+//	mocktails loadgen [-targets http://h1:8677,...] {-id ID | -upload workload.profile.gz} [-c 1,4,16] [-qps 50]
 //	mocktails stats   -in workload.trace.gz
 //	mocktails simulate -in workload.trace.gz
 //	mocktails analyze -in workload.trace.gz [-top 8]
@@ -34,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/loadgen"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/partition"
@@ -67,13 +69,15 @@ func main() {
 		cmdCheck(os.Args[2:])
 	case "serve":
 		serve.Main("mocktails serve", os.Args[2:])
+	case "loadgen":
+		loadgen.Main("mocktails loadgen", os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|convert|stats|simulate|analyze|compare|inspect|check|serve} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|convert|stats|simulate|analyze|compare|inspect|check|serve|loadgen} [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Main is the loadgen entry point, shared by the standalone binary and
+// the `mocktails loadgen` alias. prog names the flag set in usage
+// output.
+func Main(prog string, args []string) {
+	fs := flag.NewFlagSet(prog, flag.ExitOnError)
+	targets := fs.String("targets", "http://localhost:8677", "comma-separated base URLs of the nodes under test")
+	id := fs.String("id", "", "profile content address to synthesise (or use -upload)")
+	upload := fs.String("upload", "", "profile file (gzip or flat) to upload to the first target; its ID becomes the workload")
+	conc := fs.String("c", "4", "comma-separated closed-loop concurrency levels (a ramp measures each)")
+	requests := fs.Int("requests", 200, "measured requests per closed-loop level (0 = bound by -duration)")
+	duration := fs.Duration("duration", 5*time.Second, "measured wall time for open loop or unbounded closed loop")
+	qps := fs.Float64("qps", 0, "open-loop target rate; 0 = closed loop")
+	warmup := fs.Int("warmup", 32, "unrecorded warmup requests before measurement")
+	seed := fs.Uint64("seed", 42, "base synthesis seed; request i sends seed+i")
+	n := fs.Uint64("n", 0, "events per synthesis request (0 = the profile's full length)")
+	name := fs.String("name", "serve", "row-name prefix in the JSON output")
+	jsonOut := fs.String("json", "-", "write result rows as JSON to this path (- = stdout)")
+	fs.Parse(args)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	var targetList []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targetList = append(targetList, strings.TrimRight(t, "/"))
+		}
+	}
+	if len(targetList) == 0 {
+		obs.Fatal(fmt.Errorf("no -targets"))
+	}
+
+	profileID := *id
+	if *upload != "" {
+		uid, err := uploadProfile(ctx, targetList[0], *upload)
+		if err != nil {
+			obs.Fatal(fmt.Errorf("-upload: %w", err))
+		}
+		profileID = uid
+	}
+	if profileID == "" {
+		obs.Fatal(fmt.Errorf("need -id or -upload"))
+	}
+
+	cfg := Config{
+		Targets:   targetList,
+		ProfileID: profileID,
+		Seed:      *seed,
+		N:         *n,
+		Requests:  *requests,
+		Duration:  *duration,
+		QPS:       *qps,
+		Warmup:    *warmup,
+	}
+
+	var rows []Row
+	if *qps > 0 {
+		cfg.Concurrency = 1
+		r, err := Run(ctx, cfg)
+		if err != nil {
+			obs.Fatal(err)
+		}
+		rows = append(rows, r.Row(fmt.Sprintf("%s/open-qps%g", *name, *qps)))
+	} else {
+		var levels []int
+		for _, c := range strings.Split(*conc, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil || v < 1 {
+				obs.Fatal(fmt.Errorf("bad -c level %q", c))
+			}
+			levels = append(levels, v)
+		}
+		results, err := RunRamp(ctx, cfg, levels)
+		if err != nil {
+			obs.Fatal(err)
+		}
+		for _, r := range results {
+			rows = append(rows, r.Row(fmt.Sprintf("%s/c%d", *name, r.Concurrency)))
+		}
+	}
+
+	doc := struct {
+		Benchmark string   `json:"benchmark"`
+		Targets   []string `json:"targets"`
+		ProfileID string   `json:"profile_id"`
+		Rows      []Row    `json:"rows"`
+	}{"loadgen", targetList, profileID, rows}
+
+	out := os.Stdout
+	if *jsonOut != "-" && *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			obs.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		obs.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(os.Stderr, "%-24s %8.1f qps  p50 %s  p95 %s  p99 %s  (%d reqs, %d errors)\n",
+			r.Name, r.QPS, time.Duration(r.P50Ns), time.Duration(r.P95Ns), time.Duration(r.P99Ns),
+			r.Requests, r.Errors)
+	}
+}
+
+// uploadProfile posts the profile file (gzip canonical or flat — the
+// server sniffs) and returns its content address.
+func uploadProfile(ctx context.Context, target, path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/profiles", f)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("upload: status %s", resp.Status)
+	}
+	var ur struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		return "", err
+	}
+	if ur.ID == "" {
+		return "", fmt.Errorf("upload: response carried no id")
+	}
+	return ur.ID, nil
+}

@@ -1,0 +1,296 @@
+// Package loadgen drives a mocktailsd node or cluster with synthesis
+// requests and reports throughput and latency quantiles. It supports
+// the two canonical load models: closed-loop (a fixed number of
+// outstanding requests; each worker issues the next request as soon as
+// the previous completes — measures capacity) and open-loop (requests
+// arrive on a fixed schedule regardless of completions — measures
+// behaviour at a target rate, exposing queueing delay that closed
+// loops hide). Latencies land in an internal/obs nanosecond histogram,
+// so the reported P50/P95/P99 use the same decade buckets as the
+// daemon's own request metrics.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config parameterises one measurement.
+type Config struct {
+	// Targets are the base URLs of the nodes under test; requests
+	// round-robin across them by request index.
+	Targets []string
+	// ProfileID is the content address to synthesise.
+	ProfileID string
+	// Seed is the base synthesis seed; request i sends Seed+i, so a
+	// fixed Seed makes the request stream reproducible.
+	Seed uint64
+	// N caps events per synthesis (the n query parameter); 0 streams
+	// the profile's full length.
+	N uint64
+	// Concurrency is the worker count (closed loop) or the hint for
+	// connection pooling (open loop). Minimum 1.
+	Concurrency int
+	// Requests is the measured request count for a closed-loop run.
+	// When 0, the run is bounded by Duration instead.
+	Requests int
+	// Duration bounds time-based runs (open loop, or closed loop with
+	// Requests == 0).
+	Duration time.Duration
+	// QPS > 0 selects the open-loop model at that target rate.
+	QPS float64
+	// Warmup requests are issued before the clock starts and are not
+	// recorded, so connection setup and first-touch cache misses do
+	// not pollute the quantiles.
+	Warmup int
+	// Client overrides the HTTP client (tests). Nil builds one with a
+	// connection pool sized to Concurrency.
+	Client *http.Client
+	// Registry receives loadgen.* metrics; nil uses a private registry
+	// per run so ramp levels do not share buckets.
+	Registry *obs.Registry
+}
+
+// Result is one measurement's outcome.
+type Result struct {
+	Mode        string // "closed" or "open"
+	Concurrency int
+	TargetQPS   float64 // open loop only
+	Requests    uint64  // measured requests issued
+	Errors      uint64  // transport failures and non-2xx responses
+	WallNs      int64   // measured-phase wall clock
+	QPS         float64 // achieved: Requests / wall
+	MeanNs      int64
+	P50Ns       int64
+	P95Ns       int64
+	P99Ns       int64
+	// Hist is the latency histogram of successful requests; its Total
+	// always equals Requests - Errors.
+	Hist *obs.Histogram
+}
+
+// Row is the JSON shape of one result, a superset of the benchRow
+// format cmd/experiments emits, so bench tooling that reads
+// {name, ns_per_op} parses loadgen output unchanged.
+type Row struct {
+	Name     string  `json:"name"`
+	NsPerOp  int64   `json:"ns_per_op"` // mean latency of successful requests
+	Allocs   uint64  `json:"allocs"`    // always 0: kept for benchRow compatibility
+	Mode     string  `json:"mode"`
+	Conc     int     `json:"concurrency"`
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50Ns    int64   `json:"p50_ns"`
+	P95Ns    int64   `json:"p95_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+}
+
+// Row renders the result under the given name.
+func (r *Result) Row(name string) Row {
+	return Row{
+		Name: name, NsPerOp: r.MeanNs, Mode: r.Mode, Conc: r.Concurrency,
+		Requests: r.Requests, Errors: r.Errors, QPS: r.QPS,
+		P50Ns: r.P50Ns, P95Ns: r.P95Ns, P99Ns: r.P99Ns,
+	}
+}
+
+// driver holds the per-run shared state.
+type driver struct {
+	cfg    Config
+	client *http.Client
+	hist   *obs.Histogram
+	reqs   *obs.Counter
+	errs   *obs.Counter
+}
+
+// issue sends request i and records it when record is true. The target
+// and seed derive from i alone, so the request stream is a pure
+// function of the config regardless of worker scheduling.
+func (d *driver) issue(ctx context.Context, i uint64, record bool) {
+	target := d.cfg.Targets[i%uint64(len(d.cfg.Targets))]
+	url := fmt.Sprintf("%s/v1/profiles/%s/synth?seed=%d&format=bin",
+		strings.TrimRight(target, "/"), d.cfg.ProfileID, d.cfg.Seed+i)
+	if d.cfg.N > 0 {
+		url += fmt.Sprintf("&n=%d", d.cfg.N)
+	}
+	start := time.Now()
+	ok := func() bool {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+		if err != nil {
+			return false
+		}
+		resp, err := d.client.Do(req)
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return false
+		}
+		return resp.StatusCode >= 200 && resp.StatusCode < 300
+	}()
+	if !record {
+		return
+	}
+	d.reqs.Inc()
+	if !ok {
+		d.errs.Inc()
+		return
+	}
+	d.hist.Observe(time.Since(start).Nanoseconds())
+}
+
+// closed runs count requests (or until the deadline when count == 0)
+// over workers parallel loops, issuing indices start, start+1, ....
+// Returns the number of requests issued.
+func (d *driver) closed(ctx context.Context, workers int, start, count uint64, deadline time.Time, record bool) uint64 {
+	var next, issued atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := next.Add(1) - 1
+				if count > 0 && i >= count {
+					return
+				}
+				if count == 0 && !time.Now().Before(deadline) {
+					return
+				}
+				d.issue(ctx, start+i, record)
+				issued.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return issued.Load()
+}
+
+// open fires requests on a fixed schedule at cfg.QPS for cfg.Duration,
+// one goroutine per request so a slow response never delays the next
+// arrival. Returns the number of requests issued.
+func (d *driver) open(ctx context.Context, start uint64) uint64 {
+	interval := time.Duration(float64(time.Second) / d.cfg.QPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	deadline := time.Now().Add(d.cfg.Duration)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var wg sync.WaitGroup
+	var i uint64
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		select {
+		case <-tick.C:
+			wg.Add(1)
+			go func(i uint64) {
+				defer wg.Done()
+				d.issue(ctx, start+i, true)
+			}(i)
+			i++
+		case <-ctx.Done():
+		}
+	}
+	wg.Wait()
+	return i
+}
+
+// Run executes one measurement: warmup (unrecorded), then the measured
+// phase under the configured load model.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	if cfg.ProfileID == "" {
+		return nil, fmt.Errorf("loadgen: no profile id")
+	}
+	workers := cfg.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		// The default per-host idle pool (2) would force connection
+		// churn at any real concurrency.
+		tr.MaxIdleConnsPerHost = workers + 2
+		client = &http.Client{Transport: tr, Timeout: 5 * time.Minute}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	d := &driver{
+		cfg:    cfg,
+		client: client,
+		hist:   reg.Histogram("loadgen.latency.ns", obs.ScaleNs),
+		reqs:   reg.Counter("loadgen.requests"),
+		errs:   reg.Counter("loadgen.errors"),
+	}
+
+	if cfg.Warmup > 0 {
+		d.closed(ctx, workers, 0, uint64(cfg.Warmup), time.Time{}, false)
+	}
+	start := uint64(cfg.Warmup)
+
+	res := &Result{Mode: "closed", Concurrency: workers}
+	t0 := time.Now()
+	switch {
+	case cfg.QPS > 0:
+		res.Mode = "open"
+		res.TargetQPS = cfg.QPS
+		if cfg.Duration <= 0 {
+			return nil, fmt.Errorf("loadgen: open loop needs a duration")
+		}
+		res.Requests = d.open(ctx, start)
+	case cfg.Requests > 0:
+		res.Requests = d.closed(ctx, workers, start, uint64(cfg.Requests), time.Time{}, true)
+	case cfg.Duration > 0:
+		res.Requests = d.closed(ctx, workers, start, 0, t0.Add(cfg.Duration), true)
+	default:
+		return nil, fmt.Errorf("loadgen: need -requests or -duration")
+	}
+	res.WallNs = time.Since(t0).Nanoseconds()
+
+	res.Errors = d.errs.Value()
+	if res.WallNs > 0 {
+		res.QPS = float64(res.Requests) / (float64(res.WallNs) / 1e9)
+	}
+	res.MeanNs = int64(d.hist.Mean())
+	res.P50Ns = d.hist.Quantile(0.50)
+	res.P95Ns = d.hist.Quantile(0.95)
+	res.P99Ns = d.hist.Quantile(0.99)
+	res.Hist = d.hist
+	return res, ctx.Err()
+}
+
+// RunRamp runs one closed-loop measurement per concurrency level,
+// reusing the warmup only for the first level (later levels arrive
+// hot). Each level gets its own histogram.
+func RunRamp(ctx context.Context, cfg Config, levels []int) ([]*Result, error) {
+	var out []*Result
+	for li, c := range levels {
+		lc := cfg
+		lc.Concurrency = c
+		lc.Registry = nil // fresh buckets per level
+		if li > 0 {
+			lc.Warmup = 0
+		}
+		r, err := Run(ctx, lc)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stubServer records every synthesis request it answers.
+type stubServer struct {
+	mu    sync.Mutex
+	seeds map[uint64]int // seed -> times requested
+}
+
+func newStub(t *testing.T) (*stubServer, *httptest.Server) {
+	st := &stubServer{seeds: make(map[uint64]int)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/profiles/{id}/synth", func(w http.ResponseWriter, r *http.Request) {
+		seed, err := strconv.ParseUint(r.URL.Query().Get("seed"), 10, 64)
+		if err != nil || r.PathValue("id") == "" {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		st.mu.Lock()
+		st.seeds[seed]++
+		st.mu.Unlock()
+		w.Write([]byte("bytes"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return st, ts
+}
+
+// A closed-loop run with a fixed seed is deterministic in everything
+// but timing: the request count is exact, the set of seeds issued is
+// exactly {seed+warmup .. seed+warmup+requests-1} (warmup taking
+// {seed .. seed+warmup-1}), and the histogram's bucket counts sum to
+// the requests issued — the bucket a latency lands in varies run to
+// run, the total cannot.
+func TestClosedLoopDeterminism(t *testing.T) {
+	const warmup, requests = 7, 100
+	for run := 0; run < 2; run++ {
+		st, ts := newStub(t)
+		reg := obs.NewRegistry()
+		res, err := Run(context.Background(), Config{
+			Targets:     []string{ts.URL},
+			ProfileID:   "cafe",
+			Seed:        1000,
+			Concurrency: 8,
+			Requests:    requests,
+			Warmup:      warmup,
+			Registry:    reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Requests != requests {
+			t.Fatalf("run %d: %d requests measured, want exactly %d", run, res.Requests, requests)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("run %d: %d errors", run, res.Errors)
+		}
+
+		// Histogram bucket counts sum to the requests issued.
+		bounds, counts := res.Hist.Snapshot()
+		var sum uint64
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != requests || res.Hist.Total() != requests {
+			t.Fatalf("run %d: bucket sum %d, total %d, want %d", run, sum, res.Hist.Total(), requests)
+		}
+		if len(counts) != len(bounds)+1 {
+			t.Fatalf("run %d: %d counts for %d bounds", run, len(counts), len(bounds))
+		}
+
+		// The seed set is a pure function of the config, independent of
+		// worker interleaving.
+		st.mu.Lock()
+		for s := uint64(1000); s < 1000+warmup+requests; s++ {
+			if st.seeds[s] != 1 {
+				t.Fatalf("run %d: seed %d requested %d times, want once", run, s, st.seeds[s])
+			}
+		}
+		if len(st.seeds) != warmup+requests {
+			t.Fatalf("run %d: %d distinct seeds, want %d", run, len(st.seeds), warmup+requests)
+		}
+		st.mu.Unlock()
+
+		// The registry view agrees with the result.
+		if got := reg.Counter("loadgen.requests").Value(); got != requests {
+			t.Fatalf("run %d: counter says %d requests", run, got)
+		}
+	}
+}
+
+// Requests round-robin across targets by index, so a two-target run
+// splits an even request count exactly in half.
+func TestRoundRobinTargets(t *testing.T) {
+	var hits [2]int
+	var mu sync.Mutex
+	mk := func(i int) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			hits[i]++
+			mu.Unlock()
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a, b := mk(0), mk(1)
+	res, err := Run(context.Background(), Config{
+		Targets:     []string{a.URL, b.URL},
+		ProfileID:   "cafe",
+		Concurrency: 4,
+		Requests:    50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 50 {
+		t.Fatalf("measured %d requests, want 50", res.Requests)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits[0] != 25 || hits[1] != 25 {
+		t.Fatalf("round robin split %d/%d, want 25/25", hits[0], hits[1])
+	}
+}
+
+// Non-2xx responses count as errors and stay out of the latency
+// histogram, so quantiles describe successful requests only.
+func TestErrorsExcludedFromHistogram(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if seed := r.URL.Query().Get("seed"); seed == "3" || seed == "4" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(ts.Close)
+	res, err := Run(context.Background(), Config{
+		Targets:   []string{ts.URL},
+		ProfileID: "cafe",
+		Seed:      0,
+		Requests:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 2 {
+		t.Fatalf("%d errors, want 2", res.Errors)
+	}
+	if res.Hist.Total() != 8 {
+		t.Fatalf("histogram holds %d observations, want 8", res.Hist.Total())
+	}
+}
+
+// The open loop issues requests on the arrival schedule: a 1s run at
+// 200 QPS lands within a loose factor of the target even when every
+// response is instant, and all issued requests are measured.
+func TestOpenLoopRate(t *testing.T) {
+	_, ts := newStub(t)
+	res, err := Run(context.Background(), Config{
+		Targets:   []string{ts.URL},
+		ProfileID: "cafe",
+		QPS:       200,
+		Duration:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" || res.TargetQPS != 200 {
+		t.Fatalf("mode %q target %g", res.Mode, res.TargetQPS)
+	}
+	if res.Requests < 100 || res.Requests > 250 {
+		t.Fatalf("issued %d requests in 1s at 200 QPS", res.Requests)
+	}
+	if got := res.Hist.Total() + res.Errors; got != res.Requests {
+		t.Fatalf("measured %d of %d issued", got, res.Requests)
+	}
+}
+
+// A ramp measures each level independently: fresh histograms, exact
+// request counts, rows that parse as bench rows.
+func TestRampLevels(t *testing.T) {
+	_, ts := newStub(t)
+	results, err := RunRamp(context.Background(), Config{
+		Targets:   []string{ts.URL},
+		ProfileID: "cafe",
+		Requests:  40,
+		Warmup:    5,
+	}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	for i, want := range []int{1, 2, 4} {
+		if results[i].Concurrency != want || results[i].Requests != 40 {
+			t.Fatalf("level %d: c=%d requests=%d", i, results[i].Concurrency, results[i].Requests)
+		}
+	}
+	// Row JSON stays compatible with the cmd/experiments bench rows.
+	buf, err := json.Marshal(results[0].Row("serve/c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row struct {
+		Name    string `json:"name"`
+		NsPerOp *int64 `json:"ns_per_op"`
+	}
+	if err := json.Unmarshal(buf, &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Name != "serve/c1" || row.NsPerOp == nil {
+		t.Fatalf("bench-row view: %s", buf)
+	}
+}
+
+// Config validation: every unusable config errors instead of spinning.
+func TestConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []Config{
+		{},                              // no targets
+		{Targets: []string{"http://x"}}, // no id
+		{Targets: []string{"http://x"}, ProfileID: "a"},          // no bound
+		{Targets: []string{"http://x"}, ProfileID: "a", QPS: 10}, // open loop, no duration
+	}
+	for i, cfg := range cases {
+		if _, err := Run(ctx, cfg); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}

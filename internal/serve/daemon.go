@@ -37,6 +37,8 @@ func Main(prog string, args []string) {
 	fitWorkers := fs.Int("j", 0, "fit workers per upload (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS)")
 	synthWorkers := fs.Int("synth-j", 1, "chunk-refill workers per synthesis stream; any value streams identical bytes")
 	debug := fs.Bool("debug", false, "serve net/http/pprof and expvar metrics under /debug/ on the main listener")
+	peers := fs.String("peers", "", "comma-separated base URLs of the other cluster members (e.g. http://h1:8677,http://h2:8677); empty = single node")
+	advertise := fs.String("advertise", "", "base URL peers use to reach this node (default: http://<addr>); only meaningful with -peers")
 	of := obs.RegisterFlags(fs)
 	fs.Parse(args)
 
@@ -63,6 +65,21 @@ func Main(prog string, args []string) {
 	ctx, stop := of.Start(strings.ReplaceAll(prog, " ", "."))
 	defer stop()
 
+	var clusterCfg ClusterConfig
+	if *peers != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + *addr
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimRight(p, "/"))
+			}
+		}
+		clusterCfg = ClusterConfig{Advertise: strings.TrimRight(adv, "/"), Peers: peerList}
+	}
+
 	srvr, err := NewServer(Config{
 		Shards:         *shards,
 		StoreBudget:    budgetBytes,
@@ -77,6 +94,7 @@ func Main(prog string, args []string) {
 		Debug:          *debug,
 		DiskDir:        *diskDir,
 		DiskBudget:     diskBudgetBytes,
+		Cluster:        clusterCfg,
 	})
 	if err != nil {
 		obs.Fatal(err)

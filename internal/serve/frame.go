@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The peer replication frame is the body of POST /v1/cluster/replicate:
+// the claimed content address bundled with the flat-encoded profile
+// bytes, so the receiver can verify the address before admitting the
+// payload. Layout, all little-endian:
+//
+//	offset  size  field
+//	0       4     magic "MKPF"
+//	4       1     version (1)
+//	5       2     id length L (bytes)
+//	7       8     payload length P (bytes)
+//	15      L     id (the profile's hex content address)
+//	15+L    P     payload (flat .mfp profile encoding)
+//	15+L+P  4     CRC-32C of bytes [0, 15+L+P)
+//
+// The payload carries its own per-section CRCs (docs/FORMAT.md); the
+// frame CRC additionally covers the header and id, so a corrupted or
+// truncated frame is rejected before the payload is even parsed.
+
+const (
+	frameMagic   = "MKPF"
+	frameVersion = 1
+	// frameHeaderLen is the fixed prefix before the id: magic, version,
+	// id length, payload length.
+	frameHeaderLen = 4 + 1 + 2 + 8
+	// frameMaxIDLen bounds the id field; content addresses are 64 hex
+	// bytes, the slack leaves room for future address schemes.
+	frameMaxIDLen = 128
+)
+
+// frameCRC is the CRC-32C (Castagnoli) table, matching the flat
+// profile format's checksum family.
+var frameCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrFrame reports a malformed peer replication frame.
+var ErrFrame = errors.New("serve: invalid peer frame")
+
+func frameErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFrame, fmt.Sprintf(format, args...))
+}
+
+// encodeFrame assembles a replication frame for id and payload.
+func encodeFrame(id string, payload []byte) []byte {
+	buf := make([]byte, 0, frameHeaderLen+len(id)+len(payload)+4)
+	buf = append(buf, frameMagic...)
+	buf = append(buf, frameVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, id...)
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, frameCRC))
+	return buf
+}
+
+// decodeFrame reads one replication frame from r, enforcing maxPayload
+// (<= 0 selects a defensive 4 GiB cap) on the declared payload length
+// before allocating anything proportional to it. It returns the claimed id
+// and the payload bytes; any structural problem — bad magic, unknown
+// version, oversize fields, truncation, checksum mismatch, trailing
+// bytes — returns an error wrapping ErrFrame.
+func decodeFrame(r io.Reader, maxPayload int64) (id string, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", nil, frameErr("short header: %v", err)
+	}
+	if string(hdr[:4]) != frameMagic {
+		return "", nil, frameErr("bad magic %q", hdr[:4])
+	}
+	if hdr[4] != frameVersion {
+		return "", nil, frameErr("unsupported version %d", hdr[4])
+	}
+	idLen := int(binary.LittleEndian.Uint16(hdr[5:7]))
+	payLen := binary.LittleEndian.Uint64(hdr[7:15])
+	if idLen == 0 || idLen > frameMaxIDLen {
+		return "", nil, frameErr("id length %d out of range (1..%d)", idLen, frameMaxIDLen)
+	}
+	if maxPayload <= 0 {
+		maxPayload = 1 << 32 // defensive: never allocate from an unchecked length
+	}
+	if payLen > uint64(maxPayload) {
+		return "", nil, frameErr("payload length %d exceeds the %d-byte limit", payLen, maxPayload)
+	}
+	rest := make([]byte, uint64(idLen)+payLen+4)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return "", nil, frameErr("truncated frame: %v", err)
+	}
+	crc := crc32.Checksum(hdr[:], frameCRC)
+	crc = crc32.Update(crc, frameCRC, rest[:len(rest)-4])
+	if got := binary.LittleEndian.Uint32(rest[len(rest)-4:]); got != crc {
+		return "", nil, frameErr("checksum mismatch: frame says %#x, computed %#x", got, crc)
+	}
+	// One frame per request body: trailing bytes mean a confused sender.
+	var extra [1]byte
+	if n, _ := r.Read(extra[:]); n != 0 {
+		return "", nil, frameErr("trailing bytes after frame")
+	}
+	return string(rest[:idLen]), rest[idLen : uint64(idLen)+payLen], nil
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	id := strings.Repeat("ab", 32)
+	payload := []byte("not a real profile, the frame does not care")
+	buf := encodeFrame(id, payload)
+	gotID, gotPayload, err := decodeFrame(bytes.NewReader(buf), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != id || !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("round trip: got (%q, %q)", gotID, gotPayload)
+	}
+	// Empty payloads frame fine — the flat validation downstream is
+	// what rejects them.
+	if _, p, err := decodeFrame(bytes.NewReader(encodeFrame("x", nil)), 1<<20); err != nil || len(p) != 0 {
+		t.Fatalf("empty payload: p=%q err=%v", p, err)
+	}
+}
+
+func TestFrameRejectsMalformed(t *testing.T) {
+	good := encodeFrame(strings.Repeat("cd", 32), []byte("payload"))
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": good[:10],
+		"truncated":    good[:len(good)-5],
+		"bad magic":    append([]byte("XXXX"), good[4:]...),
+		"bad version":  append(append([]byte{}, good[:4]...), append([]byte{99}, good[5:]...)...),
+		"trailing":     append(append([]byte{}, good...), 0),
+	}
+	for name, buf := range cases {
+		if _, _, err := decodeFrame(bytes.NewReader(buf), 1<<20); !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: err = %v, want ErrFrame", name, err)
+		}
+	}
+
+	// One flipped payload bit must fail the frame checksum.
+	corrupt := append([]byte{}, good...)
+	corrupt[frameHeaderLen+64+3] ^= 1
+	if _, _, err := decodeFrame(bytes.NewReader(corrupt), 1<<20); !errors.Is(err, ErrFrame) {
+		t.Errorf("corrupt payload: err = %v, want ErrFrame", err)
+	}
+
+	// A declared payload length over the cap is rejected before any
+	// payload-sized allocation.
+	big := encodeFrame("id", make([]byte, 4096))
+	if _, _, err := decodeFrame(bytes.NewReader(big), 1024); !errors.Is(err, ErrFrame) {
+		t.Errorf("oversize payload: err = %v, want ErrFrame", err)
+	}
+}

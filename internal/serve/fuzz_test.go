@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"bytes"
 	"net/url"
+	"strings"
 	"testing"
 )
 
@@ -61,6 +63,31 @@ func FuzzParseSynthQuery(f *testing.F) {
 		}
 		if o.Format != FormatBin && o.Format != FormatCSV {
 			t.Fatalf("accepted unknown format %q", o.Format)
+		}
+	})
+}
+
+// FuzzPeerFrame feeds arbitrary bytes to the peer replication frame
+// decoder: it must never panic or allocate from an unchecked length,
+// and anything it accepts must re-encode to the identical frame (the
+// format has exactly one encoding per (id, payload)).
+func FuzzPeerFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MKPF"))
+	f.Add(encodeFrame("ab", []byte("payload")))
+	f.Add(encodeFrame(strings.Repeat("cd", 32), nil))
+	truncated := encodeFrame("id", []byte("data"))
+	f.Add(truncated[:len(truncated)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, payload, err := decodeFrame(bytes.NewReader(data), 1<<20)
+		if err != nil {
+			return
+		}
+		if len(id) == 0 || len(id) > frameMaxIDLen {
+			t.Fatalf("accepted id of length %d", len(id))
+		}
+		if !bytes.Equal(encodeFrame(id, payload), data) {
+			t.Fatalf("accepted frame does not re-encode to itself")
 		}
 	})
 }

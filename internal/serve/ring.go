@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the default virtual-node count per member. The
+// relative deviation of one member's keyspace share goes as
+// 1/sqrt(replicas); 1024 vnodes keep every member within ~5% of
+// uniform (pinned by TestRingDistribution) while a membership change
+// still only remaps about one member's share. Rings are built once per
+// membership change, so the construction cost is irrelevant.
+const ringReplicas = 1024
+
+// Ring is a consistent-hash ring over cluster members: the outward
+// extension of the store's FNV shard map. A profile ID hashes to a
+// point on a 64-bit circle; its owner is the member whose nearest
+// virtual node follows that point. Adding or removing one member only
+// remaps the keys between the changed vnodes and their predecessors —
+// about 1/N of the keyspace — where a modulo map would remap nearly
+// everything. A Ring is immutable after construction; membership
+// changes build a new Ring.
+type Ring struct {
+	hashes  []uint64 // sorted vnode positions
+	owners  []string // owners[i] owns the arc ending at hashes[i]
+	members []string // distinct members, sorted
+}
+
+// NewRing builds a ring over the given members with replicas virtual
+// nodes each (<= 0 selects the default). Duplicate members collapse.
+// A ring over zero members is valid and owns nothing.
+func NewRing(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = ringReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	var distinct []string
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		distinct = append(distinct, m)
+	}
+	sort.Strings(distinct)
+	r := &Ring{
+		hashes:  make([]uint64, 0, len(distinct)*replicas),
+		members: distinct,
+	}
+	type vnode struct {
+		h     uint64
+		owner string
+	}
+	vns := make([]vnode, 0, len(distinct)*replicas)
+	for _, m := range distinct {
+		for i := 0; i < replicas; i++ {
+			vns = append(vns, vnode{ringHash(m + "#" + strconv.Itoa(i)), m})
+		}
+	}
+	sort.Slice(vns, func(i, j int) bool {
+		if vns[i].h != vns[j].h {
+			return vns[i].h < vns[j].h
+		}
+		return vns[i].owner < vns[j].owner // deterministic tie-break
+	})
+	r.owners = make([]string, len(vns))
+	for i, v := range vns {
+		r.hashes = append(r.hashes, v.h)
+		r.owners[i] = v.owner
+	}
+	return r
+}
+
+// ringHash is FNV-1a 64 — the same family as the store's shard map,
+// widened to 64 bits — finished with the splitmix64 mixer: FNV alone
+// avalanches poorly on short, similar strings ("node#1", "node#2", …),
+// which visibly skews arc lengths; the finisher spreads the vnode
+// positions uniformly over the circle.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Members returns the ring's distinct members in sorted order.
+func (r *Ring) Members() []string { return r.members }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// vnodeAfter returns the index of the first vnode at or after h,
+// wrapping past the top of the circle.
+func (r *Ring) vnodeAfter(h uint64) int {
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the member owning key, or "" for an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	return r.owners[r.vnodeAfter(ringHash(key))]
+}
+
+// Sequence returns every member in preference order for key: the owner
+// first, then the remaining members in the order their vnodes follow on
+// the circle. It is the fallback order for fetch-on-miss and
+// forwarding — when the owner is down, the next member in the sequence
+// is the consistent second choice.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.hashes) == 0 {
+		return nil
+	}
+	seq := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	start := r.vnodeAfter(ringHash(key))
+	for i := 0; i < len(r.hashes) && len(seq) < len(r.members); i++ {
+		owner := r.owners[(start+i)%len(r.hashes)]
+		if !seen[owner] {
+			seen[owner] = true
+			seq = append(seq, owner)
+		}
+	}
+	return seq
+}

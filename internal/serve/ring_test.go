@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys generates n deterministic profile-ID-shaped keys (hex
+// SHA-256 strings), the exact key population the production ring sees.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://node-%d:8677", i)
+	}
+	return nodes
+}
+
+// Key distribution stays within ±10% of uniform across realistic
+// cluster sizes.
+func TestRingDistribution(t *testing.T) {
+	keys := ringKeys(100_000)
+	for _, n := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("%dnodes", n), func(t *testing.T) {
+			r := NewRing(ringNodes(n), 0)
+			counts := make(map[string]int, n)
+			for _, k := range keys {
+				counts[r.Owner(k)]++
+			}
+			if len(counts) != n {
+				t.Fatalf("keys landed on %d of %d nodes", len(counts), n)
+			}
+			uniform := float64(len(keys)) / float64(n)
+			for node, c := range counts {
+				dev := float64(c)/uniform - 1
+				if dev < -0.10 || dev > 0.10 {
+					t.Errorf("node %s owns %d keys, %.1f%% from uniform %g (tolerance ±10%%)",
+						node, c, 100*dev, uniform)
+				}
+			}
+		})
+	}
+}
+
+// Adding or removing one node remaps fewer than 2/N of the keys — the
+// property that distinguishes consistent hashing from a modulo map,
+// which would remap nearly all of them.
+func TestRingRemapBound(t *testing.T) {
+	keys := ringKeys(50_000)
+	for _, n := range []int{3, 5, 8} {
+		nodes := ringNodes(n + 1)
+		before := NewRing(nodes[:n], 0)
+		grown := NewRing(nodes[:n+1], 0)
+		shrunk := NewRing(nodes[1:n], 0) // remove nodes[0]
+
+		var movedGrow, movedShrink int
+		for _, k := range keys {
+			base := before.Owner(k)
+			if grown.Owner(k) != base {
+				movedGrow++
+			}
+			if before.Owner(k) == nodes[0] {
+				continue // its node vanished; the key must move
+			}
+			if shrunk.Owner(k) != base {
+				movedShrink++
+			}
+		}
+		bound := int(2.0 / float64(n) * float64(len(keys)))
+		if movedGrow >= bound {
+			t.Errorf("n=%d: adding one node remapped %d of %d keys, want < %d",
+				n, movedGrow, len(keys), bound)
+		}
+		// Keys not owned by the removed node must not move at all.
+		if movedShrink != 0 {
+			t.Errorf("n=%d: removing a node moved %d keys it did not own", n, movedShrink)
+		}
+	}
+}
+
+// Property test over random memberships: ownership is deterministic,
+// Sequence starts with the owner, covers every member exactly once,
+// and survives membership shuffles (the ring is order-independent).
+func TestRingProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := ringKeys(200)
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(9)
+		nodes := ringNodes(n)
+		r := NewRing(nodes, 0)
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r2 := NewRing(shuffled, 0)
+		for _, k := range keys {
+			if r.Owner(k) != r2.Owner(k) {
+				t.Fatalf("owner depends on member order: %q vs %q", r.Owner(k), r2.Owner(k))
+			}
+			seq := r.Sequence(k)
+			if len(seq) != n {
+				t.Fatalf("Sequence returned %d members, want %d", len(seq), n)
+			}
+			if seq[0] != r.Owner(k) {
+				t.Fatalf("Sequence[0] = %q, Owner = %q", seq[0], r.Owner(k))
+			}
+			seen := make(map[string]bool, n)
+			for _, m := range seq {
+				if seen[m] {
+					t.Fatalf("Sequence repeats member %q", m)
+				}
+				seen[m] = true
+			}
+		}
+	}
+}
+
+// Degenerate memberships: empty ring owns nothing, duplicates and
+// empty strings collapse, a single node owns everything.
+func TestRingDegenerate(t *testing.T) {
+	if own := NewRing(nil, 0).Owner("abc"); own != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", own)
+	}
+	if seq := NewRing(nil, 0).Sequence("abc"); seq != nil {
+		t.Fatalf("empty ring sequence = %v, want nil", seq)
+	}
+	r := NewRing([]string{"a", "", "a", "b"}, 4)
+	if r.Len() != 2 {
+		t.Fatalf("ring len = %d, want 2 (duplicates and empties collapse)", r.Len())
+	}
+	solo := NewRing([]string{"only"}, 0)
+	for _, k := range ringKeys(10) {
+		if solo.Owner(k) != "only" {
+			t.Fatalf("single-node ring owner = %q", solo.Owner(k))
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -75,6 +77,11 @@ type Config struct {
 	// under /debug/ on the server's own mux, reusing the one handler
 	// instead of opening a second listener.
 	Debug bool
+	// Cluster, when its Advertise field is set, joins the server to a
+	// consistent-hash cluster of peers at construction. Leave zero for
+	// a single node; tests that only learn their listen address after
+	// starting can join later with JoinCluster.
+	Cluster ClusterConfig
 }
 
 // DefaultStoreBudget is the default profile-store byte budget (256 MiB
@@ -121,6 +128,10 @@ type Server struct {
 	fits    *limiter
 	streams *limiter
 
+	// cluster is nil for a single node. It is installed atomically so
+	// JoinCluster may run after the listener is already serving.
+	cluster atomic.Pointer[cluster]
+
 	active atomic.Int64
 }
 
@@ -151,11 +162,38 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/profiles", s.endpoint("upload", s.fits, s.handleUpload))
 	s.mux.HandleFunc("GET /v1/profiles/{id}", s.endpoint("get", nil, s.handleGet))
 	s.mux.HandleFunc("POST /v1/profiles/{id}/synth", s.endpoint("synth", s.streams, s.handleSynth))
+	s.mux.HandleFunc("GET /v1/cluster/healthz", s.endpoint("cluster_health", nil, s.handleClusterHealth))
+	s.mux.HandleFunc("POST /v1/cluster/replicate", s.endpoint("replicate", nil, s.handleReplicate))
 	if cfg.Debug {
 		s.mux.Handle("/debug/", obs.DebugHandler())
 	}
+	if cfg.Cluster.Advertise != "" {
+		if err := s.JoinCluster(cfg.Cluster); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
+
+// JoinCluster joins the server to the given cluster, replacing any
+// previous membership. It may be called while the server is already
+// handling requests: until the join, requests get single-node
+// semantics.
+func (s *Server) JoinCluster(cfg ClusterConfig) error {
+	c, err := newCluster(cfg)
+	if err != nil {
+		return err
+	}
+	s.cluster.Store(c)
+	obs.Logger().Info("joined cluster", "self", c.self, "members", c.ring.Members())
+	return nil
+}
+
+// isPeer reports whether r is an intra-cluster request. Peer requests
+// are answered from local state only — never forwarded, fetched for,
+// or re-replicated — which makes routing loops structurally
+// impossible.
+func isPeer(r *http.Request) bool { return r.Header.Get(headerPeer) != "" }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -283,8 +321,29 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	var p *profile.Profile
 	switch opts.Kind {
 	case KindProfile:
-		p, err = profile.ReadGzip(body)
-		if err != nil {
+		// The profile encoding is sniffed, not configured: peers
+		// replicate in the flat wire format, the CLI uploads gzip
+		// canonical, and both land here.
+		br := bufio.NewReader(body)
+		if hdr, _ := br.Peek(8); profile.SniffFlat(hdr) {
+			data, rerr := io.ReadAll(br)
+			var maxBytesErr *http.MaxBytesError
+			if errors.As(rerr, &maxBytesErr) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					"upload exceeds the %d-byte body limit", s.cfg.MaxUploadBytes)
+				return
+			}
+			if rerr != nil {
+				writeError(w, http.StatusBadRequest, "reading profile: %v", rerr)
+				return
+			}
+			f, ferr := profile.OpenFlat(data)
+			if ferr != nil {
+				writeError(w, http.StatusBadRequest, "decoding flat profile: %v", ferr)
+				return
+			}
+			p = f.Profile()
+		} else if p, err = profile.ReadGzip(br); err != nil {
 			writeError(w, http.StatusBadRequest, "decoding profile: %v", err)
 			return
 		}
@@ -351,6 +410,15 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	// A newly-admitted profile is pushed to its ring owner before the
+	// response is written, so by the time the uploader learns the ID,
+	// any node in the cluster can already resolve it at its canonical
+	// location. Peer-marked uploads never re-replicate.
+	if added {
+		if c := s.cluster.Load(); c != nil && !isPeer(r) {
+			c.replicate(r.Context(), meta.ID, p)
+		}
+	}
 	status := http.StatusCreated
 	if !added {
 		status = http.StatusOK
@@ -368,12 +436,51 @@ const (
 	contentTypeGz   = "application/gzip"
 )
 
+// acquireOrFetch pins profile id, pulling it from the cluster on a
+// local miss (fetch-on-miss: the flat bytes are downloaded from the
+// peer preference sequence, verified against the content address, and
+// admitted into the local store, so subsequent requests for the same
+// profile are local). On failure it writes the error response — 404
+// when no reachable node holds the profile, 507 when the local store
+// cannot admit it — and returns ok=false. Peer-marked requests never
+// fetch: they see local state only.
+func (s *Server) acquireOrFetch(w http.ResponseWriter, r *http.Request, id string) (*Pin, bool) {
+	if pin, ok := s.store.Acquire(id); ok {
+		return pin, true
+	}
+	c := s.cluster.Load()
+	if c == nil || isPeer(r) {
+		writeError(w, http.StatusNotFound, "no profile %q", id)
+		return nil, false
+	}
+	p := c.fetch(r.Context(), id, s.cfg.MaxUploadBytes)
+	if p == nil {
+		writeError(w, http.StatusNotFound, "no profile %q in the cluster", id)
+		return nil, false
+	}
+	if _, _, err := s.store.Put(p); err != nil {
+		if errors.Is(err, ErrStoreFull) {
+			writeError(w, http.StatusInsufficientStorage, "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return nil, false
+	}
+	pin, ok := s.store.Acquire(id)
+	if !ok {
+		// The fetched profile was evicted between Put and Acquire —
+		// only possible when the store is thrashing at its budget.
+		writeError(w, http.StatusInsufficientStorage, "profile evicted before it could be pinned")
+		return nil, false
+	}
+	return pin, true
+}
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if dl := r.URL.Query().Get("download"); dl != "" {
-		pin, ok := s.store.Acquire(id)
+		pin, ok := s.acquireOrFetch(w, r, id)
 		if !ok {
-			writeError(w, http.StatusNotFound, "no profile %q", id)
 			return
 		}
 		defer pin.Release()
@@ -420,10 +527,104 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 	meta, ok := s.store.Meta(id)
 	if !ok {
+		// Metadata reads are forwarded rather than fetched: answering
+		// "does this profile exist" must not pull megabytes of profile
+		// into the local store.
+		if c := s.cluster.Load(); c != nil && !isPeer(r) {
+			body, status, reachable := c.forwardMeta(r.Context(), id)
+			switch {
+			case reachable && status == http.StatusOK:
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusOK)
+				w.Write(body)
+			case reachable:
+				writeError(w, http.StatusNotFound, "no profile %q in the cluster", id)
+			default:
+				writeError(w, http.StatusBadGateway, "no cluster peer reachable for profile %q", id)
+			}
+			return
+		}
 		writeError(w, http.StatusNotFound, "no profile %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, meta)
+}
+
+// handleReplicate admits a profile pushed by a cluster peer: one
+// replication frame carrying the claimed content address and the flat
+// profile bytes. The address is recomputed from the decoded payload
+// and must match — a peer cannot plant bytes under a foreign ID.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if s.cluster.Load() == nil {
+		writeError(w, http.StatusServiceUnavailable, "node is not clustered")
+		return
+	}
+	// The frame wraps the payload in a fixed-size header plus the id
+	// and checksum; 1 KiB of slack over the upload cap covers it.
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes+1024)
+	id, payload, err := decodeFrame(body, s.cfg.MaxUploadBytes)
+	if err != nil {
+		var maxBytesErr *http.MaxBytesError
+		if errors.As(err, &maxBytesErr) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"frame exceeds the %d-byte body limit", s.cfg.MaxUploadBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := decodeVerifiedProfile(id, payload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "replicated profile rejected: %v", err)
+		return
+	}
+	meta, added, err := s.store.Put(p)
+	if errors.Is(err, ErrStoreFull) {
+		writeError(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	mClusterReplReceived.Inc()
+	status := http.StatusCreated
+	if !added {
+		status = http.StatusOK
+	}
+	obs.FromContext(r.Context()).Debug("profile replicated in",
+		"id", meta.ID, "from", r.Header.Get(headerPeer), "deduped", !added)
+	writeJSON(w, status, uploadResponse{Meta: meta, Deduped: !added})
+}
+
+// handleClusterHealth reports the node's view of the cluster: its ring
+// identity, the membership, and a live probe of every peer. A
+// non-clustered node answers with mode "single" so the endpoint is
+// uniformly scrapeable.
+func (s *Server) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster.Load()
+	if c == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"mode":     "single",
+			"profiles": s.store.Len(),
+		})
+		return
+	}
+	peers := c.probePeers(r.Context())
+	allOK := true
+	for _, p := range peers {
+		if !p.OK {
+			allOK = false
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":     "cluster",
+		"self":     c.self,
+		"members":  c.ring.Members(),
+		"peers":    peers,
+		"peers_ok": allOK,
+		"profiles": s.store.Len(),
+	})
 }
 
 // flushWriter flushes the HTTP response after every write reaching it,
@@ -455,9 +656,8 @@ func (s *Server) handleSynth(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	pin, ok := s.store.Acquire(id)
+	pin, ok := s.acquireOrFetch(w, r, id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no profile %q", id)
 		return
 	}
 	defer pin.Release()

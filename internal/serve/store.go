@@ -435,6 +435,22 @@ func (p *Pin) Release() {
 	})
 }
 
+// refs reports the current pin count of a RAM-resident profile, or -1
+// when it is not resident. It exists as the white-box test hook for
+// pin accounting: tests must go through it instead of reaching into
+// shardFor/entries directly, so shard-map refactors (e.g. extending
+// the FNV map outward to a cluster ring) cannot silently change what
+// the tests measure.
+func (s *Store) refs(id string) int {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e, ok := sh.entries[id]; ok {
+		return e.refs
+	}
+	return -1
+}
+
 // Meta returns the metadata of the profile with the given ID without
 // pinning it or promoting it into RAM. A profile demoted to the disk
 // tier answers from its flat header (an mmap + header parse).
