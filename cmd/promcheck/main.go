@@ -1,0 +1,84 @@
+// Command promcheck validates a Prometheus text-exposition document
+// (format 0.0.4) as produced by a mocktailsd /metrics endpoint: names,
+// label escaping, TYPE placement, and histogram structure (cumulative
+// ascending buckets, +Inf last, _count == the +Inf bucket). It exists
+// so CI can assert a live scrape parses without a Prometheus binary.
+//
+// Usage:
+//
+//	promcheck [-require name1,name2,...] [file]
+//
+// With no file argument (or with "-"), stdin is read. -require lists metric names
+// (already in Prometheus form, e.g. serve_synth_requests) that must
+// appear in the document. Exit status is non-zero on any failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric names that must appear")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	src := "stdin"
+	if flag.NArg() > 0 && flag.Arg(0) != "-" {
+		src = flag.Arg(0)
+		data, err = os.ReadFile(src)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	samples, err := obs.ValidateExposition(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+
+	missing := 0
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !hasMetric(data, name) {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: required metric %q not found\n", src, name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: ok (%d samples)\n", src, samples)
+}
+
+// hasMetric reports whether any sample line in data belongs to the
+// metric family name (exact, _bucket/_sum/_count suffixed, or labeled).
+func hasMetric(data []byte, name string) bool {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample := line
+		if i := strings.IndexAny(sample, "{ "); i >= 0 {
+			sample = sample[:i]
+		}
+		if sample == name || sample == name+"_bucket" || sample == name+"_sum" || sample == name+"_count" {
+			return true
+		}
+	}
+	return false
+}

@@ -122,6 +122,14 @@ func Main(prog string, args []string) {
 		fmt.Fprintf(os.Stderr, "%-24s %8.1f qps  p50 %s  p95 %s  p99 %s  (%d reqs, %d errors)\n",
 			r.Name, r.QPS, time.Duration(r.P50Ns), time.Duration(r.P95Ns), time.Duration(r.P99Ns),
 			r.Requests, r.Errors)
+		for class, n := range r.ErrByCls {
+			fmt.Fprintf(os.Stderr, "%-24s   errors %s: %d\n", "", class, n)
+		}
+		if len(r.Slowest) > 0 {
+			s := r.Slowest[0]
+			fmt.Fprintf(os.Stderr, "%-24s   slowest %s trace %s (request %d)\n",
+				"", time.Duration(s.Ns), s.TraceID, s.Index)
+		}
 	}
 }
 

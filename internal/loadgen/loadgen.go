@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,15 @@ type Config struct {
 	Registry *obs.Registry
 }
 
+// SlowRequest identifies one of a run's slowest successful requests by
+// the trace ID it was issued under, so the matching server-side trace
+// can be pulled from /debug/requests or grepped out of access logs.
+type SlowRequest struct {
+	TraceID string `json:"trace_id"`
+	Index   uint64 `json:"index"` // global request index (target and seed derive from it)
+	Ns      int64  `json:"ns"`
+}
+
 // Result is one measurement's outcome.
 type Result struct {
 	Mode        string // "closed" or "open"
@@ -72,6 +82,13 @@ type Result struct {
 	P50Ns       int64
 	P95Ns       int64
 	P99Ns       int64
+	// ErrorsByClass breaks Errors down by failure class: "transport"
+	// for round-trips that died before a status line, otherwise the
+	// status-code class ("4xx", "5xx"). The values sum to Errors.
+	ErrorsByClass map[string]uint64
+	// Slowest holds the up-to-five slowest successful requests, slowest
+	// first, each tagged with the trace ID it carried.
+	Slowest []SlowRequest
 	// Hist is the latency histogram of successful requests; its Total
 	// always equals Requests - Errors.
 	Hist *obs.Histogram
@@ -81,25 +98,27 @@ type Result struct {
 // format cmd/experiments emits, so bench tooling that reads
 // {name, ns_per_op} parses loadgen output unchanged.
 type Row struct {
-	Name     string  `json:"name"`
-	NsPerOp  int64   `json:"ns_per_op"` // mean latency of successful requests
-	Allocs   uint64  `json:"allocs"`    // always 0: kept for benchRow compatibility
-	Mode     string  `json:"mode"`
-	Conc     int     `json:"concurrency"`
-	Requests uint64  `json:"requests"`
-	Errors   uint64  `json:"errors"`
-	QPS      float64 `json:"qps"`
-	P50Ns    int64   `json:"p50_ns"`
-	P95Ns    int64   `json:"p95_ns"`
-	P99Ns    int64   `json:"p99_ns"`
+	Name     string            `json:"name"`
+	NsPerOp  int64             `json:"ns_per_op"` // mean latency of successful requests
+	Allocs   uint64            `json:"allocs"`    // always 0: kept for benchRow compatibility
+	Mode     string            `json:"mode"`
+	Conc     int               `json:"concurrency"`
+	Requests uint64            `json:"requests"`
+	Errors   uint64            `json:"errors"`
+	ErrByCls map[string]uint64 `json:"errors_by_class,omitempty"`
+	QPS      float64           `json:"qps"`
+	P50Ns    int64             `json:"p50_ns"`
+	P95Ns    int64             `json:"p95_ns"`
+	P99Ns    int64             `json:"p99_ns"`
+	Slowest  []SlowRequest     `json:"slowest,omitempty"`
 }
 
 // Row renders the result under the given name.
 func (r *Result) Row(name string) Row {
 	return Row{
 		Name: name, NsPerOp: r.MeanNs, Mode: r.Mode, Conc: r.Concurrency,
-		Requests: r.Requests, Errors: r.Errors, QPS: r.QPS,
-		P50Ns: r.P50Ns, P95Ns: r.P95Ns, P99Ns: r.P99Ns,
+		Requests: r.Requests, Errors: r.Errors, ErrByCls: r.ErrorsByClass, QPS: r.QPS,
+		P50Ns: r.P50Ns, P95Ns: r.P95Ns, P99Ns: r.P99Ns, Slowest: r.Slowest,
 	}
 }
 
@@ -107,14 +126,75 @@ func (r *Result) Row(name string) Row {
 type driver struct {
 	cfg    Config
 	client *http.Client
+	reg    *obs.Registry
 	hist   *obs.Histogram
 	reqs   *obs.Counter
 	errs   *obs.Counter
+
+	mu       sync.Mutex
+	errClass map[string]uint64
+	slowest  []SlowRequest
 }
 
-// issue sends request i and records it when record is true. The target
-// and seed derive from i alone, so the request stream is a pure
-// function of the config regardless of worker scheduling.
+// maxSlowRequests bounds the per-run slowest-request list.
+const maxSlowRequests = 5
+
+// mix64 is the splitmix64 finalizer: a cheap bijective whitening of a
+// counter into a well-distributed 64-bit value.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// traceContext derives request i's trace context deterministically from
+// the run seed, so two runs with the same config carry the same trace
+// IDs and any request can be cross-referenced in server rings and
+// access logs after the fact.
+func (d *driver) traceContext(i uint64) obs.SpanContext {
+	base := d.cfg.Seed ^ 0x6d6f636b7461696c // "mocktail", so synth seed i and trace i differ
+	return obs.SpanContext{
+		TraceID: obs.TraceIDFromUint64(mix64(base+3*i), mix64(base+3*i+1)),
+		SpanID:  obs.SpanIDFromUint64(mix64(base + 3*i + 2)),
+		Flags:   obs.FlagSampled,
+	}
+}
+
+// recordError classifies one failed request. status 0 means the
+// round-trip died before a status line (transport class).
+func (d *driver) recordError(status int) {
+	class := "transport"
+	if status > 0 {
+		class = fmt.Sprintf("%dxx", status/100)
+	}
+	d.reg.Counter("loadgen.errors." + class).Inc()
+	d.mu.Lock()
+	if d.errClass == nil {
+		d.errClass = make(map[string]uint64)
+	}
+	d.errClass[class]++
+	d.mu.Unlock()
+}
+
+// recordSlow keeps the run's top-N slowest successful requests, sorted
+// slowest first.
+func (d *driver) recordSlow(s SlowRequest) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.slowest) == maxSlowRequests && s.Ns <= d.slowest[maxSlowRequests-1].Ns {
+		return
+	}
+	d.slowest = append(d.slowest, s)
+	sort.Slice(d.slowest, func(i, j int) bool { return d.slowest[i].Ns > d.slowest[j].Ns })
+	if len(d.slowest) > maxSlowRequests {
+		d.slowest = d.slowest[:maxSlowRequests]
+	}
+}
+
+// issue sends request i and records it when record is true. The target,
+// seed and trace context derive from i alone, so the request stream is
+// a pure function of the config regardless of worker scheduling.
 func (d *driver) issue(ctx context.Context, i uint64, record bool) {
 	target := d.cfg.Targets[i%uint64(len(d.cfg.Targets))]
 	url := fmt.Sprintf("%s/v1/profiles/%s/synth?seed=%d&format=bin",
@@ -122,31 +202,37 @@ func (d *driver) issue(ctx context.Context, i uint64, record bool) {
 	if d.cfg.N > 0 {
 		url += fmt.Sprintf("&n=%d", d.cfg.N)
 	}
+	sc := d.traceContext(i)
 	start := time.Now()
-	ok := func() bool {
+	status := 0 // stays 0 on transport-level failure
+	func() {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
 		if err != nil {
-			return false
+			return
 		}
+		req.Header.Set("traceparent", sc.Traceparent())
 		resp, err := d.client.Do(req)
 		if err != nil {
-			return false
+			return
 		}
 		defer resp.Body.Close()
 		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-			return false
+			return
 		}
-		return resp.StatusCode >= 200 && resp.StatusCode < 300
+		status = resp.StatusCode
 	}()
 	if !record {
 		return
 	}
 	d.reqs.Inc()
-	if !ok {
+	if status < 200 || status >= 300 {
 		d.errs.Inc()
+		d.recordError(status)
 		return
 	}
-	d.hist.Observe(time.Since(start).Nanoseconds())
+	ns := time.Since(start).Nanoseconds()
+	d.hist.Observe(ns)
+	d.recordSlow(SlowRequest{TraceID: sc.TraceID.String(), Index: i, Ns: ns})
 }
 
 // closed runs count requests (or until the deadline when count == 0)
@@ -233,6 +319,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	d := &driver{
 		cfg:    cfg,
 		client: client,
+		reg:    reg,
 		hist:   reg.Histogram("loadgen.latency.ns", obs.ScaleNs),
 		reqs:   reg.Counter("loadgen.requests"),
 		errs:   reg.Counter("loadgen.errors"),
@@ -271,6 +358,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res.P95Ns = d.hist.Quantile(0.95)
 	res.P99Ns = d.hist.Quantile(0.99)
 	res.Hist = d.hist
+	d.mu.Lock()
+	if len(d.errClass) > 0 {
+		res.ErrorsByClass = make(map[string]uint64, len(d.errClass))
+		for k, v := range d.errClass {
+			res.ErrorsByClass[k] = v
+		}
+	}
+	res.Slowest = append([]SlowRequest(nil), d.slowest...)
+	d.mu.Unlock()
 	return res, ctx.Err()
 }
 

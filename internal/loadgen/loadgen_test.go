@@ -136,30 +136,162 @@ func TestRoundRobinTargets(t *testing.T) {
 }
 
 // Non-2xx responses count as errors and stay out of the latency
-// histogram, so quantiles describe successful requests only.
+// histogram, so quantiles describe successful requests only — and the
+// error breakdown attributes each failure to its status class.
 func TestErrorsExcludedFromHistogram(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if seed := r.URL.Query().Get("seed"); seed == "3" || seed == "4" {
+		switch r.URL.Query().Get("seed") {
+		case "3", "4":
 			http.Error(w, "boom", http.StatusInternalServerError)
-			return
+		case "7":
+			http.Error(w, "gone", http.StatusNotFound)
+		default:
+			w.Write([]byte("ok"))
 		}
-		w.Write([]byte("ok"))
 	}))
 	t.Cleanup(ts.Close)
+	reg := obs.NewRegistry()
 	res, err := Run(context.Background(), Config{
 		Targets:   []string{ts.URL},
 		ProfileID: "cafe",
 		Seed:      0,
 		Requests:  10,
+		Registry:  reg,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Errors != 2 {
-		t.Fatalf("%d errors, want 2", res.Errors)
+	if res.Errors != 3 {
+		t.Fatalf("%d errors, want 3", res.Errors)
 	}
-	if res.Hist.Total() != 8 {
-		t.Fatalf("histogram holds %d observations, want 8", res.Hist.Total())
+	if res.Hist.Total() != 7 {
+		t.Fatalf("histogram holds %d observations, want 7", res.Hist.Total())
+	}
+	if res.ErrorsByClass["5xx"] != 2 || res.ErrorsByClass["4xx"] != 1 || len(res.ErrorsByClass) != 2 {
+		t.Fatalf("ErrorsByClass = %v, want 5xx:2 4xx:1", res.ErrorsByClass)
+	}
+	if got := reg.Counter("loadgen.errors.5xx").Value(); got != 2 {
+		t.Fatalf("loadgen.errors.5xx = %d, want 2", got)
+	}
+	var sum uint64
+	for _, n := range res.ErrorsByClass {
+		sum += n
+	}
+	if sum != res.Errors {
+		t.Fatalf("class counts sum to %d, Errors = %d", sum, res.Errors)
+	}
+}
+
+// Transport-level failures (no status line) land in their own class.
+func TestTransportErrorClass(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // refuse every connection
+	res, err := Run(context.Background(), Config{
+		Targets:   []string{ts.URL},
+		ProfileID: "cafe",
+		Requests:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 4 || res.ErrorsByClass["transport"] != 4 {
+		t.Fatalf("errors=%d by class=%v, want 4 transport", res.Errors, res.ErrorsByClass)
+	}
+}
+
+// Every request carries a deterministic traceparent derived from the
+// run seed: two runs with the same config send identical trace IDs,
+// distinct within a run and distinct from the synthesis seed stream.
+func TestDeterministicTraceparent(t *testing.T) {
+	capture := func() map[uint64]string {
+		seen := make(map[uint64]string)
+		var mu sync.Mutex
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			seed, _ := strconv.ParseUint(r.URL.Query().Get("seed"), 10, 64)
+			sc, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			if !ok {
+				http.Error(w, "no traceparent", http.StatusBadRequest)
+				return
+			}
+			mu.Lock()
+			seen[seed] = sc.TraceID.String()
+			mu.Unlock()
+			w.Write([]byte("ok"))
+		}))
+		defer ts.Close()
+		res, err := Run(context.Background(), Config{
+			Targets:     []string{ts.URL},
+			ProfileID:   "cafe",
+			Seed:        500,
+			Concurrency: 4,
+			Requests:    20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("%d requests arrived without a valid traceparent", res.Errors)
+		}
+		return seen
+	}
+	first, second := capture(), capture()
+	if len(first) != 20 || len(second) != 20 {
+		t.Fatalf("captured %d/%d trace IDs, want 20 each", len(first), len(second))
+	}
+	distinct := make(map[string]bool)
+	for seed, id := range first {
+		if second[seed] != id {
+			t.Fatalf("seed %d: trace ID %s vs %s across identical runs", seed, id, second[seed])
+		}
+		distinct[id] = true
+	}
+	if len(distinct) != 20 {
+		t.Fatalf("%d distinct trace IDs for 20 requests", len(distinct))
+	}
+}
+
+// The slowest-request list is populated, bounded, sorted slowest first,
+// and its trace IDs match the run's deterministic derivation.
+func TestSlowestRequests(t *testing.T) {
+	_, ts := newStub(t)
+	res, err := Run(context.Background(), Config{
+		Targets:     []string{ts.URL},
+		ProfileID:   "cafe",
+		Seed:        77,
+		Concurrency: 4,
+		Requests:    30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slowest) != 5 {
+		t.Fatalf("Slowest holds %d entries, want 5", len(res.Slowest))
+	}
+	d := &driver{cfg: Config{Seed: 77}}
+	for i, s := range res.Slowest {
+		if i > 0 && s.Ns > res.Slowest[i-1].Ns {
+			t.Fatalf("Slowest not sorted: %+v", res.Slowest)
+		}
+		if s.Ns <= 0 {
+			t.Fatalf("non-positive slow latency: %+v", s)
+		}
+		if want := d.traceContext(s.Index).TraceID.String(); s.TraceID != want {
+			t.Fatalf("slow request %d trace ID %s, want %s", s.Index, s.TraceID, want)
+		}
+	}
+	// The row view carries both new fields.
+	buf, err := json.Marshal(res.Row("serve/c4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row struct {
+		Slowest []SlowRequest `json:"slowest"`
+	}
+	if err := json.Unmarshal(buf, &row); err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Slowest) != 5 {
+		t.Fatalf("row JSON slowest = %s", buf)
 	}
 }
 

@@ -29,6 +29,14 @@ type Flags struct {
 	// HTTP is the address of the optional net/http/pprof + expvar
 	// listener (-pprof-http), e.g. "localhost:6060".
 	HTTP string
+	// LogFormat selects the slog handler: "text" (default) or "json"
+	// (-log-format).
+	LogFormat string
+	// AccessLog gates per-request access-log lines in servers that
+	// consult obs.AccessLogEnabled (-access-log, default true; the
+	// lines are emitted at Info, so they stay invisible at the default
+	// warn threshold either way).
+	AccessLog bool
 }
 
 // RegisterFlags adds the shared observability flags to fs and returns
@@ -41,6 +49,8 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
 	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
 	fs.StringVar(&f.HTTP, "pprof-http", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "log output format: text (logfmt) or json")
+	fs.BoolVar(&f.AccessLog, "access-log", true, "emit one structured access-log line per HTTP request (servers only)")
 	return f
 }
 
@@ -54,6 +64,10 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 // a requested-but-broken profile output should not be discovered after
 // a long run.
 func (f *Flags) Start(name string) (context.Context, func()) {
+	if err := SetLogFormat(f.LogFormat); err != nil {
+		Fatal(err)
+	}
+	SetAccessLog(f.AccessLog)
 	SetVerbose(f.Verbose)
 	var stops []func()
 	if f.CPUProfile != "" {

@@ -25,9 +25,46 @@ func TestRegisterFlagsParse(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := Flags{Verbose: true, Metrics: "m.json", CPUProfile: "cpu.out",
-		MemProfile: "mem.out", Trace: "trace.out", HTTP: "localhost:0"}
+		MemProfile: "mem.out", Trace: "trace.out", HTTP: "localhost:0",
+		LogFormat: "text", AccessLog: true}
 	if *f != want {
 		t.Fatalf("parsed flags = %+v, want %+v", *f, want)
+	}
+
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	f2 := RegisterFlags(fs2)
+	if err := fs2.Parse([]string{"-log-format", "json", "-access-log=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if f2.LogFormat != "json" || f2.AccessLog {
+		t.Fatalf("parsed flags = %+v, want LogFormat=json AccessLog=false", *f2)
+	}
+}
+
+// TestSetLogFormat checks the format switch round-trips and rejects
+// unknown formats without disturbing the current logger.
+func TestSetLogFormat(t *testing.T) {
+	defer SetLogFormat("text")
+	if err := SetLogFormat("json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetLogFormat(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetLogFormat("xml"); err == nil {
+		t.Fatal("SetLogFormat accepted an unknown format")
+	}
+}
+
+// TestSetAccessLog checks the access-log gate toggles.
+func TestSetAccessLog(t *testing.T) {
+	defer SetAccessLog(true)
+	if !AccessLogEnabled() {
+		t.Fatal("access log should default on")
+	}
+	SetAccessLog(false)
+	if AccessLogEnabled() {
+		t.Fatal("SetAccessLog(false) did not take")
 	}
 }
 

@@ -17,20 +17,32 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"os"
 	"sync/atomic"
 )
 
 // logger holds the process-wide default logger. Reads are lock-free so
-// hot paths can grab it cheaply; SetVerbose and SetLogger swap it.
+// hot paths can grab it cheaply; SetVerbose, SetLogFormat and SetLogger
+// swap it.
 var logger atomic.Pointer[slog.Logger]
 
 // verbose mirrors whether SetVerbose(true) was last called, for callers
 // that want to skip building expensive log arguments entirely.
 var verbose atomic.Bool
 
+// jsonLog selects the JSON handler instead of logfmt text.
+var jsonLog atomic.Bool
+
+// accessLog gates per-request access-log emission in servers that
+// consult AccessLogEnabled (mocktailsd). Default on; whether the lines
+// are visible still depends on the logger's level (they are emitted at
+// Info, below the default Warn threshold).
+var accessLog atomic.Bool
+
 func init() {
+	accessLog.Store(true)
 	logger.Store(newLogger(false))
 }
 
@@ -39,7 +51,11 @@ func newLogger(verbose bool) *slog.Logger {
 	if verbose {
 		level = slog.LevelDebug
 	}
-	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonLog.Load() {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
 }
 
 // Logger returns the process-wide default logger. The zero configuration
@@ -63,6 +79,32 @@ func SetVerbose(v bool) {
 
 // Verbose reports whether verbose logging is enabled.
 func Verbose() bool { return verbose.Load() }
+
+// SetLogFormat selects the default logger's handler: "text" (or "")
+// keeps the logfmt text handler, "json" swaps in slog's JSON handler
+// so every log line — including access logs — is one machine-parseable
+// object. The current verbosity is preserved. The CLI -log-format flag
+// lands here.
+func SetLogFormat(format string) error {
+	switch format {
+	case "", "text":
+		jsonLog.Store(false)
+	case "json":
+		jsonLog.Store(true)
+	default:
+		return fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	logger.Store(newLogger(verbose.Load()))
+	return nil
+}
+
+// SetAccessLog enables or disables per-request access-log lines in
+// servers that consult AccessLogEnabled. The CLI -access-log flag
+// lands here.
+func SetAccessLog(on bool) { accessLog.Store(on) }
+
+// AccessLogEnabled reports whether access-log emission is enabled.
+func AccessLogEnabled() bool { return accessLog.Load() }
 
 // loggerKey carries a per-run context logger through a pipeline run.
 type loggerKey struct{}

@@ -1,0 +1,401 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the metrics registry in the Prometheus text
+// exposition format (version 0.0.4) so any Prometheus-compatible
+// scraper can consume mocktailsd's GET /metrics: dotted registry names
+// are sanitized to the prometheus charset, counters and gauges map
+// directly, and histograms are rendered as the cumulative
+// _bucket{le=...}/_sum/_count series triple. ValidateExposition is a
+// strict Go-side parser of the same format, used by the tests and the
+// CI scrape check (cmd/promcheck).
+
+// PromContentType is the Content-Type of a text-exposition response.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName sanitizes a dotted registry name to the Prometheus metric
+// charset [a-zA-Z0-9_:]: every invalid rune becomes '_', and a leading
+// digit gets a '_' prefix. "serve.cluster.probe.ns" →
+// "serve_cluster_probe_ns".
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every metric in the registry as Prometheus
+// text exposition format v0.0.4 with deterministic (sorted) series
+// order. Counters and gauges map one to one; each histogram becomes
+// cumulative `_bucket` series with inclusive `le` upper bounds (one
+// per fixed bucket plus `+Inf`), a `_sum` and a `_count`. The +Inf
+// bucket and `_count` are computed from the same snapshot, so every
+// rendered histogram is internally consistent even under concurrent
+// writers.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	cs, gs, hs := r.snapshot()
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(cs))
+	for n := range cs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, cs[n])
+	}
+
+	names = names[:0]
+	for n := range gs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, strconv.FormatFloat(gs[n], 'g', -1, 64))
+	}
+
+	names = names[:0]
+	for n := range hs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := hs[n]
+		pn := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", pn, bound, cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		fmt.Fprintf(bw, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", pn, cum)
+	}
+	return bw.Flush()
+}
+
+// PromHandler returns the GET /metrics handler over reg (nil = the
+// Default registry).
+func PromHandler(reg *Registry) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		reg.WritePrometheus(w)
+	})
+}
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// ValidateExposition strictly parses a Prometheus text-exposition
+// document, returning the number of sample lines. Beyond the line
+// grammar (TYPE/HELP comments, metric names, label escaping, float
+// values, optional timestamps) it enforces the structural rules the
+// encoder relies on: at most one TYPE per metric and only before its
+// samples, histogram buckets cumulative and ordered by ascending `le`
+// ending in `+Inf`, and `_count` equal to the `+Inf` bucket with a
+// `_sum` present.
+func ValidateExposition(data []byte) (samples int, err error) {
+	types := make(map[string]string)
+	seen := make(map[string]bool) // base metric name -> samples observed
+	var parsed []promSample
+
+	lineNo := 0
+	for _, raw := range bytes.Split(data, []byte("\n")) {
+		lineNo++
+		line := string(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimPrefix(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "TYPE "):
+				fields := strings.Fields(rest)
+				if len(fields) != 3 {
+					return 0, fmt.Errorf("line %d: malformed TYPE comment", lineNo)
+				}
+				name, typ := fields[1], fields[2]
+				if !validPromName(name) {
+					return 0, fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return 0, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if seen[name] {
+					return 0, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				types[name] = typ
+			case strings.HasPrefix(rest, "HELP "):
+				// HELP docstrings are free text; nothing to check beyond
+				// the name.
+				fields := strings.Fields(rest)
+				if len(fields) < 2 || !validPromName(fields[1]) {
+					return 0, fmt.Errorf("line %d: malformed HELP comment", lineNo)
+				}
+			default:
+				// Other comments are ignored per the format.
+			}
+			continue
+		}
+		s, perr := parsePromSample(line)
+		if perr != nil {
+			return 0, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		s.line = lineNo
+		parsed = append(parsed, s)
+		seen[baseMetricName(s.name, types)] = true
+		samples++
+	}
+
+	// Structural histogram checks.
+	for name, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		var buckets []promSample
+		var sum, count *promSample
+		for i := range parsed {
+			s := &parsed[i]
+			switch s.name {
+			case name + "_bucket":
+				buckets = append(buckets, *s)
+			case name + "_sum":
+				sum = s
+			case name + "_count":
+				count = s
+			}
+		}
+		if len(buckets) == 0 || sum == nil || count == nil {
+			return 0, fmt.Errorf("histogram %s: missing _bucket, _sum or _count series", name)
+		}
+		prevLe := -1.0
+		prevCum := -1.0
+		sawInf := false
+		for _, b := range buckets {
+			leStr, ok := b.labels["le"]
+			if !ok {
+				return 0, fmt.Errorf("line %d: histogram %s bucket without le label", b.line, name)
+			}
+			var le float64
+			if leStr == "+Inf" {
+				le = 0
+				sawInf = true
+			} else {
+				if sawInf {
+					return 0, fmt.Errorf("line %d: histogram %s has buckets after +Inf", b.line, name)
+				}
+				le, err = strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return 0, fmt.Errorf("line %d: histogram %s: bad le %q", b.line, name, leStr)
+				}
+				if le <= prevLe && prevLe >= 0 {
+					return 0, fmt.Errorf("line %d: histogram %s: le %q out of order", b.line, name, leStr)
+				}
+				prevLe = le
+			}
+			if b.value < prevCum {
+				return 0, fmt.Errorf("line %d: histogram %s: bucket counts not cumulative", b.line, name)
+			}
+			prevCum = b.value
+		}
+		if !sawInf {
+			return 0, fmt.Errorf("histogram %s: no +Inf bucket", name)
+		}
+		if count.value != prevCum {
+			return 0, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", name, count.value, prevCum)
+		}
+	}
+	return samples, nil
+}
+
+// baseMetricName maps a sample name to the metric it belongs to: the
+// histogram/summary series suffixes attach to their declared base.
+func baseMetricName(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':'
+		if !ok && !(i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample parses one sample line:
+// name[{label="value",...}] value [timestamp]
+func parsePromSample(line string) (promSample, error) {
+	s := promSample{}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.name = line[:i]
+	if !validPromName(s.name) {
+		return s, fmt.Errorf("invalid metric name %q", s.name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parsePromLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.labels = labels
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value and optional timestamp, got %q", strings.TrimSpace(rest))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parsePromLabels parses a {name="value",...} block starting at s[0] ==
+// '{', returning the index just past the closing brace.
+func parsePromLabels(s string) (end int, labels map[string]string, err error) {
+	labels = make(map[string]string)
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '}' {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, nil, fmt.Errorf("malformed label block %q", s)
+		}
+		name := s[start:i]
+		if !validPromName(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("unknown escape \\%c in %q", s[i+1], s)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val.String()
+	}
+}

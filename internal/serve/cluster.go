@@ -27,6 +27,7 @@ var (
 	mClusterReplErrors   = obs.NewCounter("serve.cluster.replicate_errors")
 	mClusterPeerErrors   = obs.NewCounter("serve.cluster.peer_errors")
 	mClusterMembersGauge = obs.NewGauge("serve.cluster.members")
+	mClusterProbeNs      = obs.NewHistogram("serve.cluster.probe.ns", obs.ScaleNs)
 )
 
 // headerPeer marks intra-cluster requests with the sender's advertise
@@ -111,6 +112,11 @@ func (c *cluster) do(ctx context.Context, method, url string, body io.Reader) (*
 		return nil, err
 	}
 	req.Header.Set(headerPeer, c.self)
+	// Propagate the caller's trace so a fetch-on-miss or replication hop
+	// shows up under the same trace ID on the remote node.
+	if rt := obs.RequestFromContext(ctx); rt != nil {
+		req.Header.Set("traceparent", rt.ChildContext().Traceparent())
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		cancel()
@@ -261,15 +267,21 @@ func (c *cluster) forwardMeta(ctx context.Context, id string) (body []byte, stat
 	return nil, 0, false
 }
 
-// peerHealth is one peer's row in the cluster health document.
+// peerHealth is one peer's row in the cluster health document. RTTNs
+// is the full probe round-trip in nanoseconds; it is reported for
+// failed probes too (how long the failure took to surface).
 type peerHealth struct {
 	Addr  string `json:"addr"`
 	OK    bool   `json:"ok"`
+	RTTNs int64  `json:"rtt_ns"`
 	Error string `json:"error,omitempty"`
 }
 
 // probePeers checks every other member's /healthz concurrently with a
-// short per-probe timeout, returning rows in ring-member order.
+// short per-probe timeout, returning rows in ring-member order. Each
+// successful probe's round-trip lands in the serve.cluster.probe.ns
+// histogram, so scraping /metrics yields a cluster RTT distribution
+// without a separate ping loop.
 func (c *cluster) probePeers(ctx context.Context) []peerHealth {
 	var peers []string
 	for _, m := range c.ring.Members() {
@@ -291,19 +303,25 @@ func (c *cluster) probePeers(ctx context.Context) []peerHealth {
 				return
 			}
 			req.Header.Set(headerPeer, c.self)
+			if rt := obs.RequestFromContext(ctx); rt != nil {
+				req.Header.Set("traceparent", rt.ChildContext().Traceparent())
+			}
+			start := time.Now()
 			resp, err := c.client.Do(req)
 			if err != nil {
 				mClusterPeerErrors.Inc()
-				rows[i] = peerHealth{Addr: peer, Error: err.Error()}
+				rows[i] = peerHealth{Addr: peer, RTTNs: int64(time.Since(start)), Error: err.Error()}
 				return
 			}
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 			resp.Body.Close()
+			rtt := time.Since(start)
 			if resp.StatusCode != http.StatusOK {
-				rows[i] = peerHealth{Addr: peer, Error: fmt.Sprintf("status %d", resp.StatusCode)}
+				rows[i] = peerHealth{Addr: peer, RTTNs: int64(rtt), Error: fmt.Sprintf("status %d", resp.StatusCode)}
 				return
 			}
-			rows[i] = peerHealth{Addr: peer, OK: true}
+			mClusterProbeNs.Observe(int64(rtt))
+			rows[i] = peerHealth{Addr: peer, OK: true, RTTNs: int64(rtt)}
 		}(i, peer)
 	}
 	wg.Wait()

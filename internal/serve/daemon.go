@@ -37,6 +37,7 @@ func Main(prog string, args []string) {
 	fitWorkers := fs.Int("j", 0, "fit workers per upload (0 = MOCKTAILS_PARALLELISM or GOMAXPROCS)")
 	synthWorkers := fs.Int("synth-j", 1, "chunk-refill workers per synthesis stream; any value streams identical bytes")
 	debug := fs.Bool("debug", false, "serve net/http/pprof and expvar metrics under /debug/ on the main listener")
+	traceRing := fs.Int("trace-ring", 0, "recent request traces kept for GET /debug/requests (0 = 256)")
 	peers := fs.String("peers", "", "comma-separated base URLs of the other cluster members (e.g. http://h1:8677,http://h2:8677); empty = single node")
 	advertise := fs.String("advertise", "", "base URL peers use to reach this node (default: http://<addr>); only meaningful with -peers")
 	of := obs.RegisterFlags(fs)
@@ -95,6 +96,7 @@ func Main(prog string, args []string) {
 		DiskDir:        *diskDir,
 		DiskBudget:     diskBudgetBytes,
 		Cluster:        clusterCfg,
+		TraceRing:      *traceRing,
 	})
 	if err != nil {
 		obs.Fatal(err)

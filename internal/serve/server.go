@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -82,6 +83,13 @@ type Config struct {
 	// a single node; tests that only learn their listen address after
 	// starting can join later with JoinCluster.
 	Cluster ClusterConfig
+	// AccessLog, when non-nil, receives the per-request access-log
+	// lines instead of the process logger (tests inject per-node
+	// buffers). The obs -access-log flag gates emission either way.
+	AccessLog *slog.Logger
+	// TraceRing caps the ring buffer of recently completed request
+	// traces served by GET /debug/requests (0 = 256).
+	TraceRing int
 }
 
 // DefaultStoreBudget is the default profile-store byte budget (256 MiB
@@ -128,6 +136,11 @@ type Server struct {
 	fits    *limiter
 	streams *limiter
 
+	// traces keeps the most recent completed request traces for
+	// GET /debug/requests. One ring per node, so cross-node trace
+	// continuity is observable per node.
+	traces *obs.TraceRing
+
 	// cluster is nil for a single node. It is installed atomically so
 	// JoinCluster may run after the listener is already serving.
 	cluster atomic.Pointer[cluster]
@@ -156,8 +169,11 @@ func NewServer(cfg Config) (*Server, error) {
 		global:  newLimiter(cfg.MaxInflight),
 		fits:    newLimiter(cfg.MaxFits),
 		streams: newLimiter(cfg.MaxStreams),
+		traces:  obs.NewTraceRing(cfg.TraceRing),
 	}
 	s.mux.HandleFunc("GET /healthz", s.endpoint("health", nil, s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.endpoint("metrics", nil, s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/requests", s.endpoint("debug_requests", nil, s.handleDebugRequests))
 	s.mux.HandleFunc("GET /v1/profiles", s.endpoint("list", nil, s.handleList))
 	s.mux.HandleFunc("POST /v1/profiles", s.endpoint("upload", s.fits, s.handleUpload))
 	s.mux.HandleFunc("GET /v1/profiles/{id}", s.endpoint("get", nil, s.handleGet))
@@ -201,20 +217,30 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Store returns the server's profile store.
 func (s *Server) Store() *Store { return s.store }
 
+// Traces returns the node's ring buffer of completed request traces.
+func (s *Server) Traces() *obs.TraceRing { return s.traces }
+
 // ActiveStreams returns the number of synthesis streams in flight.
 func (s *Server) ActiveStreams() int64 { return s.active.Load() }
 
-// statusWriter records the status code a handler wrote, for the
-// per-endpoint error counters, and forwards Flush so streaming handlers
-// keep working through the wrapper.
+// statusWriter records the status code and body bytes a handler wrote,
+// for the per-endpoint error counters and the access log, and forwards
+// Flush so streaming handlers keep working through the wrapper.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 func (w *statusWriter) Flush() {
@@ -223,28 +249,84 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Request-tracing headers. An incoming traceparent wins; a bare
+// 32-hex X-Request-Id supplies just the trace ID; otherwise the
+// middleware assigns a fresh trace. Every response echoes the trace ID
+// as X-Request-Id so callers can correlate without parsing traceparent.
+const (
+	headerTraceparent = "traceparent"
+	headerRequestID   = "X-Request-Id"
+)
+
+// startTrace opens the request trace for r from its tracing headers.
+func (s *Server) startTrace(r *http.Request, name string) (context.Context, *obs.ReqTrace) {
+	parent, ok := obs.ParseTraceparent(r.Header.Get(headerTraceparent))
+	if !ok {
+		if id, idOK := obs.ParseTraceID(r.Header.Get(headerRequestID)); idOK {
+			parent = obs.SpanContext{TraceID: id}
+		}
+	}
+	ctx, rt := obs.StartRequest(r.Context(), "serve."+name, parent)
+	rt.SetHTTP(r.Method, r.URL.Path, isPeer(r))
+	return ctx, rt
+}
+
+// finishTrace seals the request trace, records it in the node's ring
+// buffer, and emits the access-log line (method, route, status, bytes,
+// duration, trace ID, peer flag) when access logging is enabled.
+func (s *Server) finishTrace(rt *obs.ReqTrace, sw *statusWriter) {
+	done := rt.Finish(sw.status, sw.bytes)
+	if done == nil {
+		return
+	}
+	s.traces.Put(done)
+	if !obs.AccessLogEnabled() {
+		return
+	}
+	log := s.cfg.AccessLog
+	if log == nil {
+		log = obs.Logger()
+	}
+	log.Info("http",
+		"method", done.Method, "path", done.Route, "route", done.Name,
+		"status", done.Status, "bytes", done.Bytes,
+		"dur_ms", float64(done.DurNs)/1e6,
+		"trace", done.TraceID, "peer", done.Peer)
+}
+
 // endpoint wraps a handler with the production plumbing every route
-// shares: the global and per-endpoint in-flight limits (429 +
+// shares: the request trace (extracted from traceparent/X-Request-Id
+// or assigned, recorded in the trace ring and the access log — 429s
+// included), the global and per-endpoint in-flight limits (429 +
 // Retry-After when exhausted), a request span feeding the per-endpoint
 // latency histogram, and request/error counters.
 func (s *Server) endpoint(name string, lim *limiter, h http.HandlerFunc) http.HandlerFunc {
 	reqs := obs.NewCounter("serve." + name + ".requests")
 	errs := obs.NewCounter("serve." + name + ".errors")
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, rt := s.startTrace(r, name)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		w.Header().Set(headerRequestID, rt.TraceID().String())
+		// The trace outlives everything in the request, including an
+		// aborted stream's panic: deferred first so it runs last.
+		defer s.finishTrace(rt, sw)
+		endWait := rt.StartSpan("limit.wait")
 		if !s.global.tryAcquire() {
-			throttle(w)
+			endWait()
+			throttle(sw)
 			return
 		}
 		defer s.global.release()
 		if !lim.tryAcquire() {
-			throttle(w)
+			endWait()
+			throttle(sw)
 			return
 		}
 		defer lim.release()
+		endWait()
 		reqs.Inc()
-		ctx, sp := obs.Start(r.Context(), "serve."+name)
+		ctx, sp := obs.Start(ctx, "serve."+name)
 		defer sp.End()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r.WithContext(ctx))
 		if sw.status >= 400 {
 			errs.Inc()
@@ -274,6 +356,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"disk_files":     diskFiles,
 		"active_streams": s.active.Load(),
 	})
+}
+
+// handleMetrics serves the process metrics registry in Prometheus text
+// exposition format (v0.0.4): every counter, gauge and histogram in
+// obs.Default, including all serve.* and stage.* series.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	obs.Default.WritePrometheus(w)
+}
+
+// handleDebugRequests returns the node's most recent completed request
+// traces (?n=, default 32), newest first — including the spans and
+// trace IDs of peer hops, so one distributed request can be followed
+// node by node.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad n %q", q)
+			return
+		}
+		n = v
+	}
+	if n > s.traces.Cap() {
+		n = s.traces.Cap()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"requests": s.traces.Recent(n)})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -371,7 +481,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			fitCtx, cancel = context.WithTimeout(fitCtx, s.cfg.FitTimeout)
 			defer cancel()
 		}
+		endFit := obs.RequestFromContext(r.Context()).StartSpan("fit.stream")
 		p, err = core.BuildStream(opts.Name, rd, opts.Partition, core.Workers(s.cfg.FitWorkers), core.BuildContext(fitCtx))
+		endFit()
 		var maxBytesErr *http.MaxBytesError
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -416,7 +528,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	// location. Peer-marked uploads never re-replicate.
 	if added {
 		if c := s.cluster.Load(); c != nil && !isPeer(r) {
+			endRepl := obs.RequestFromContext(r.Context()).StartSpan("cluster.replicate")
 			c.replicate(r.Context(), meta.ID, p)
+			endRepl()
 		}
 	}
 	status := http.StatusCreated
@@ -445,7 +559,11 @@ const (
 // cannot admit it — and returns ok=false. Peer-marked requests never
 // fetch: they see local state only.
 func (s *Server) acquireOrFetch(w http.ResponseWriter, r *http.Request, id string) (*Pin, bool) {
-	if pin, ok := s.store.Acquire(id); ok {
+	rt := obs.RequestFromContext(r.Context())
+	endAcquire := rt.StartSpan("store.acquire")
+	pin, ok := s.store.Acquire(id)
+	endAcquire()
+	if ok {
 		return pin, true
 	}
 	c := s.cluster.Load()
@@ -453,7 +571,9 @@ func (s *Server) acquireOrFetch(w http.ResponseWriter, r *http.Request, id strin
 		writeError(w, http.StatusNotFound, "no profile %q", id)
 		return nil, false
 	}
+	endFetch := rt.StartSpan("cluster.fetch")
 	p := c.fetch(r.Context(), id, s.cfg.MaxUploadBytes)
+	endFetch()
 	if p == nil {
 		writeError(w, http.StatusNotFound, "no profile %q in the cluster", id)
 		return nil, false
@@ -466,7 +586,7 @@ func (s *Server) acquireOrFetch(w http.ResponseWriter, r *http.Request, id strin
 		}
 		return nil, false
 	}
-	pin, ok := s.store.Acquire(id)
+	pin, ok = s.store.Acquire(id)
 	if !ok {
 		// The fetched profile was evicted between Put and Acquire —
 		// only possible when the store is thrashing at its budget.
@@ -680,6 +800,7 @@ func (s *Server) handleSynth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Mocktails-Requests", strconv.FormatUint(count, 10))
 	var written int64
 	var werr error
+	endStream := obs.RequestFromContext(ctx).StartSpan("synth.stream")
 	switch opts.Format {
 	case FormatBin:
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -689,6 +810,7 @@ func (s *Server) handleSynth(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/csv")
 		written, werr = trace.WriteCSVStream(ctx, newFlushWriter(w), trace.Limit(src, count))
 	}
+	endStream()
 	mSynthBytes.Observe(written)
 	sp := obs.SpanFromContext(ctx)
 	sp.SetCount("requests", int64(count))
