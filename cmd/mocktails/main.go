@@ -7,6 +7,7 @@
 //
 //	mocktails profile -in workload.trace.gz -out workload.profile.gz [-format gz|flat] [-interval 500000] [-spatial dynamic|4096] [-j N]
 //	mocktails synth   -in workload.profile.gz -out synthetic.trace.gz [-seed 42] [-n N] [-format gz|bin|csv] [-j N] [-batch N]
+//	mocktails compose -spec scenario.json -dir profiles/ [-out -] [-format bin|csv|stats] [-j N]
 //	mocktails convert -in workload.profile.gz -out workload.mfp [-to gz|flat]
 //	mocktails serve   [-addr localhost:8677] [-store-budget 256MiB] [-peers http://h2:8677,...] ...
 //	mocktails loadgen [-targets http://h1:8677,...] {-id ID | -upload workload.profile.gz} [-c 1,4,16] [-qps 50]
@@ -53,6 +54,8 @@ func main() {
 		cmdProfile(os.Args[2:])
 	case "synth":
 		cmdSynth(os.Args[2:])
+	case "compose":
+		cmdCompose(os.Args[2:])
 	case "convert":
 		cmdConvert(os.Args[2:])
 	case "stats":
@@ -77,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|convert|stats|simulate|analyze|compare|inspect|check|serve|loadgen} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mocktails {profile|synth|compose|convert|stats|simulate|analyze|compare|inspect|check|serve|loadgen} [flags]")
 	os.Exit(2)
 }
 

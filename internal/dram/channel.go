@@ -14,11 +14,52 @@ type burst struct {
 }
 
 // reqState tracks an in-flight request across its bursts so that the
-// system can report per-request latency.
+// system can report per-request latency. dev, when non-nil, receives
+// the request's per-source statistics (tagged injection, see
+// System.InjectTagged); untagged requests leave it nil and cost the
+// channels nothing beyond the nil checks.
 type reqState struct {
 	inject    uint64
 	remaining int
 	done      uint64
+	dev       *DeviceStats
+}
+
+// DeviceStats accumulates the contention statistics of one traffic
+// source across a simulation: how many bursts it injected, how many of
+// them found their row open, the queue depths its bursts observed on
+// arrival, and (after Drain) its mean request latency. A shared memory
+// system attributes each of these at the moment it happens, so a
+// device's row hits reflect the interleaved row-buffer state all
+// devices produce together — the paper's §VI contention study.
+type DeviceStats struct {
+	Requests     uint64
+	ReadBursts   uint64
+	WriteBursts  uint64
+	ReadRowHits  uint64
+	WriteRowHits uint64
+
+	qlenSum uint64 // queue length observed by this device's arriving bursts
+	qlenN   uint64
+	latSum  float64 // summed request latency, finalised by Drain
+}
+
+// AvgQueueLen returns the mean read+write queue length this device's
+// bursts observed on arrival.
+func (d *DeviceStats) AvgQueueLen() float64 {
+	if d.qlenN == 0 {
+		return 0
+	}
+	return float64(d.qlenSum) / float64(d.qlenN)
+}
+
+// AvgLatency returns the device's mean request latency in cycles
+// (injection to last-burst completion). Valid after Drain.
+func (d *DeviceStats) AvgLatency() float64 {
+	if d.Requests == 0 {
+		return 0
+	}
+	return d.latSum / float64(d.Requests)
 }
 
 // bankState is the row-buffer state of one bank.
@@ -123,6 +164,17 @@ func (c *channel) enqueue(b burst, at uint64) uint64 {
 	} else {
 		c.stats.ReadQLenSeen.Add(len(c.readQ))
 		c.stats.ReadBursts++
+	}
+	if b.req != nil && b.req.dev != nil {
+		d := b.req.dev
+		if b.write {
+			d.WriteBursts++
+			d.qlenSum += uint64(len(c.writeQ))
+		} else {
+			d.ReadBursts++
+			d.qlenSum += uint64(len(c.readQ))
+		}
+		d.qlenN++
 	}
 	b.arrival = accepted
 	b.seq = c.seq
@@ -285,6 +337,13 @@ func (c *channel) service(b burst) {
 			c.stats.WriteRowHits++
 		} else {
 			c.stats.ReadRowHits++
+		}
+		if b.req != nil && b.req.dev != nil {
+			if b.write {
+				b.req.dev.WriteRowHits++
+			} else {
+				b.req.dev.ReadRowHits++
+			}
 		}
 	}
 	if b.write {

@@ -57,6 +57,17 @@ func NewSystem(cfg Config, xbarLatency uint64) *System {
 // the backpressure the request experienced beyond its arrival time; the
 // caller should feed it back to the source (trace.Source.Delay).
 func (s *System) Inject(r trace.Request) (delay uint64) {
+	return s.InjectTagged(r, nil)
+}
+
+// InjectTagged is Inject with per-source attribution: when dev is
+// non-nil, the request's bursts, row hits, observed queue depths and
+// (after Drain) latency are accumulated into it in addition to the
+// system-wide statistics. Passing each traffic source of a shared
+// scenario its own DeviceStats yields the per-device contention
+// breakdown of the paper's §VI mixing study; the timing simulation is
+// identical with or without tags.
+func (s *System) InjectTagged(r trace.Request, dev *DeviceStats) (delay uint64) {
 	port, _, _ := s.cfg.mapAddr((r.Addr / s.cfg.BurstBytes) * s.cfg.BurstBytes)
 	size := uint64(r.Size)
 	if size == 0 {
@@ -68,7 +79,10 @@ func (s *System) Inject(r trace.Request) (delay uint64) {
 	if r.Size == 0 {
 		last = first
 	}
-	rs := &reqState{inject: r.Time, remaining: int(last - first + 1)}
+	rs := &reqState{inject: r.Time, remaining: int(last - first + 1), dev: dev}
+	if dev != nil {
+		dev.Requests++
+	}
 	s.reqs = append(s.reqs, rs)
 	var worst uint64
 	for bi := first; bi <= last; bi++ {
@@ -89,8 +103,12 @@ func (s *System) Drain() {
 		c.drain()
 	}
 	for _, r := range s.reqs {
-		s.totalLat += float64(r.done - r.inject)
+		lat := float64(r.done - r.inject)
+		s.totalLat += lat
 		s.nRequests++
+		if r.dev != nil {
+			r.dev.latSum += lat
+		}
 	}
 	s.reqs = s.reqs[:0]
 }

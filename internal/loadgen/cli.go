@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
 
 // Main is the loadgen entry point, shared by the standalone binary and
@@ -24,6 +25,7 @@ func Main(prog string, args []string) {
 	targets := fs.String("targets", "http://localhost:8677", "comma-separated base URLs of the nodes under test")
 	id := fs.String("id", "", "profile content address to synthesise (or use -upload)")
 	upload := fs.String("upload", "", "profile file (gzip or flat) to upload to the first target; its ID becomes the workload")
+	scenarioPath := fs.String("scenario", "", "scenario spec JSON: drive POST /v1/scenarios/synth instead of per-profile synthesis (request i shifts every device seed by i)")
 	conc := fs.String("c", "4", "comma-separated closed-loop concurrency levels (a ramp measures each)")
 	requests := fs.Int("requests", 200, "measured requests per closed-loop level (0 = bound by -duration)")
 	duration := fs.Duration("duration", 5*time.Second, "measured wall time for open loop or unbounded closed loop")
@@ -56,13 +58,24 @@ func Main(prog string, args []string) {
 		}
 		profileID = uid
 	}
-	if profileID == "" {
-		obs.Fatal(fmt.Errorf("need -id or -upload"))
+	var spec *scenario.Spec
+	if *scenarioPath != "" {
+		data, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			obs.Fatal(fmt.Errorf("-scenario: %w", err))
+		}
+		if spec, err = scenario.Parse(data); err != nil {
+			obs.Fatal(fmt.Errorf("-scenario: %w", err))
+		}
+	}
+	if profileID == "" && spec == nil {
+		obs.Fatal(fmt.Errorf("need -id, -upload or -scenario"))
 	}
 
 	cfg := Config{
 		Targets:   targetList,
 		ProfileID: profileID,
+		Scenario:  spec,
 		Seed:      *seed,
 		N:         *n,
 		Requests:  *requests,
@@ -98,11 +111,12 @@ func Main(prog string, args []string) {
 	}
 
 	doc := struct {
-		Benchmark string   `json:"benchmark"`
-		Targets   []string `json:"targets"`
-		ProfileID string   `json:"profile_id"`
-		Rows      []Row    `json:"rows"`
-	}{"loadgen", targetList, profileID, rows}
+		Benchmark string         `json:"benchmark"`
+		Targets   []string       `json:"targets"`
+		ProfileID string         `json:"profile_id,omitempty"`
+		Scenario  *scenario.Spec `json:"scenario,omitempty"`
+		Rows      []Row          `json:"rows"`
+	}{"loadgen", targetList, profileID, spec, rows}
 
 	out := os.Stdout
 	if *jsonOut != "-" && *jsonOut != "" {

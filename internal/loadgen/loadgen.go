@@ -11,7 +11,9 @@
 package loadgen
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
 
 // Config parameterises one measurement.
@@ -29,8 +32,15 @@ type Config struct {
 	// Targets are the base URLs of the nodes under test; requests
 	// round-robin across them by request index.
 	Targets []string
-	// ProfileID is the content address to synthesise.
+	// ProfileID is the content address to synthesise. Ignored when
+	// Scenario is set.
 	ProfileID string
+	// Scenario, when non-nil, switches the workload from per-profile
+	// synthesis to POST /v1/scenarios/synth: request i sends the spec
+	// with every device seed shifted by i (WithSeedOffset), so the
+	// request stream stays a pure function of the config. N is ignored
+	// (the spec's per-device counts govern).
+	Scenario *scenario.Spec
 	// Seed is the base synthesis seed; request i sends Seed+i, so a
 	// fixed Seed makes the request stream reproducible.
 	Seed uint64
@@ -193,22 +203,42 @@ func (d *driver) recordSlow(s SlowRequest) {
 }
 
 // issue sends request i and records it when record is true. The target,
-// seed and trace context derive from i alone, so the request stream is
-// a pure function of the config regardless of worker scheduling.
+// seed (or scenario body) and trace context derive from i alone, so the
+// request stream is a pure function of the config regardless of worker
+// scheduling.
 func (d *driver) issue(ctx context.Context, i uint64, record bool) {
 	target := d.cfg.Targets[i%uint64(len(d.cfg.Targets))]
-	url := fmt.Sprintf("%s/v1/profiles/%s/synth?seed=%d&format=bin",
-		strings.TrimRight(target, "/"), d.cfg.ProfileID, d.cfg.Seed+i)
-	if d.cfg.N > 0 {
-		url += fmt.Sprintf("&n=%d", d.cfg.N)
+	var url string
+	var body io.Reader
+	if d.cfg.Scenario != nil {
+		url = strings.TrimRight(target, "/") + "/v1/scenarios/synth"
+		spec, err := json.Marshal(d.cfg.Scenario.WithSeedOffset(d.cfg.Seed + i))
+		if err != nil {
+			if record {
+				d.reqs.Inc()
+				d.errs.Inc()
+				d.recordError(0)
+			}
+			return
+		}
+		body = bytes.NewReader(spec)
+	} else {
+		url = fmt.Sprintf("%s/v1/profiles/%s/synth?seed=%d&format=bin",
+			strings.TrimRight(target, "/"), d.cfg.ProfileID, d.cfg.Seed+i)
+		if d.cfg.N > 0 {
+			url += fmt.Sprintf("&n=%d", d.cfg.N)
+		}
 	}
 	sc := d.traceContext(i)
 	start := time.Now()
 	status := 0 // stays 0 on transport-level failure
 	func() {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
 		if err != nil {
 			return
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
 		}
 		req.Header.Set("traceparent", sc.Traceparent())
 		resp, err := d.client.Do(req)
@@ -297,8 +327,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if len(cfg.Targets) == 0 {
 		return nil, fmt.Errorf("loadgen: no targets")
 	}
-	if cfg.ProfileID == "" {
-		return nil, fmt.Errorf("loadgen: no profile id")
+	if cfg.ProfileID == "" && cfg.Scenario == nil {
+		return nil, fmt.Errorf("loadgen: no profile id or scenario")
+	}
+	if cfg.Scenario != nil {
+		if err := cfg.Scenario.Validate(); err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
 	}
 	workers := cfg.Concurrency
 	if workers < 1 {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
 
 // stubServer records every synthesis request it answers.
@@ -356,6 +357,99 @@ func TestRampLevels(t *testing.T) {
 	if row.Name != "serve/c1" || row.NsPerOp == nil {
 		t.Fatalf("bench-row view: %s", buf)
 	}
+}
+
+// Scenario mode posts the spec to /v1/scenarios/synth with every
+// device seed shifted by the request index, so the body stream is a
+// pure function of the config: request i carries WithSeedOffset(Seed+i)
+// of the base spec, once each, regardless of worker interleaving.
+func TestScenarioModeSeedShift(t *testing.T) {
+	const warmup, requests = 5, 40
+	base := &scenario.Spec{Devices: []scenario.Device{
+		{Profile: testScenarioID("a"), Name: "cpu", Seed: 10},
+		{Profile: testScenarioID("b"), Name: "gpu", Seed: 20, Dilation: 2.0,
+			Window: &scenario.Window{Base: 1 << 30, Size: 1 << 30}},
+	}}
+	var mu sync.Mutex
+	bodies := make(map[uint64]*scenario.Spec) // offset -> decoded spec
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scenarios/synth", func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			http.Error(w, "content type "+ct, http.StatusUnsupportedMediaType)
+			return
+		}
+		var spec scenario.Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		mu.Lock()
+		bodies[spec.Devices[0].Seed-base.Devices[0].Seed] = &spec
+		mu.Unlock()
+		w.Write([]byte("bytes"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	res, err := Run(context.Background(), Config{
+		Targets:     []string{ts.URL},
+		Scenario:    base,
+		Seed:        1000,
+		Concurrency: 8,
+		Requests:    requests,
+		Warmup:      warmup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != requests || res.Errors != 0 {
+		t.Fatalf("measured %d requests, %d errors", res.Requests, res.Errors)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != warmup+requests {
+		t.Fatalf("%d distinct seed offsets, want %d", len(bodies), warmup+requests)
+	}
+	for i := uint64(0); i < warmup+requests; i++ {
+		got, ok := bodies[1000+i]
+		if !ok {
+			t.Fatalf("no request carried seed offset %d", 1000+i)
+		}
+		want := base.WithSeedOffset(1000 + i)
+		g, _ := json.Marshal(got)
+		w, _ := json.Marshal(want)
+		if string(g) != string(w) {
+			t.Fatalf("offset %d: body %s, want %s", 1000+i, g, w)
+		}
+	}
+}
+
+// An invalid scenario spec fails Run's validation up front instead of
+// hammering the target with 422s.
+func TestScenarioConfigValidation(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		Targets:  []string{"http://localhost:0"},
+		Scenario: &scenario.Spec{}, // no devices
+		Requests: 10,
+	})
+	if err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+}
+
+// testScenarioID builds a syntactically valid 64-hex content address
+// from a repeating hex digit string.
+func testScenarioID(c string) string {
+	s := ""
+	for len(s) < 64 {
+		s += c
+	}
+	return s[:64]
 }
 
 // Config validation: every unusable config errors instead of spinning.

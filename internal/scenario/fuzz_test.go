@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioSpec throws arbitrary bytes at the spec parser and checks
+// that whatever it accepts honours every documented bound — in
+// particular that NaN/zero/out-of-range dilations, overlapping windows
+// and attacker-sized counts never survive into a validated Spec — and
+// that accepted specs survive a marshal/re-parse round trip.
+func FuzzScenarioSpec(f *testing.F) {
+	id := strings.Repeat("a", 64)
+	f.Add([]byte(`{"devices": [{"profile": "` + id + `"}]}`))
+	f.Add([]byte(`{"devices": [{"profile": "` + id + `", "window": {"base": 0, "size": 4096}, "dilation": 2.0, "seed": 1, "count": 10}], "output": "stats", "xbar_latency": 20}`))
+	f.Add([]byte(`{"devices": [{"profile": "` + id + `", "dilation": 0}]}`))
+	f.Add([]byte(`{"devices": [{"profile": "` + id + `", "dilation": 1e999}]}`))
+	f.Add([]byte(`{"devices": [{"profile": "` + id + `", "count": 1099511627777}]}`))
+	f.Add([]byte(`{"devices": [{"profile": "` + id + `", "window": {"base": 0, "size": 0}}]}`))
+	f.Add([]byte(`{"devices": [{"profile": "` + id + `", "window": {"base": 0, "size": 100}}, {"profile": "` + id + `", "window": {"base": 50, "size": 100}}]}`))
+	f.Add([]byte(`{"devices": []}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"devices": [{"profile": "` + strings.ToUpper(id) + `"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("Parse returned nil spec with nil error")
+		}
+		if len(s.Devices) == 0 || len(s.Devices) > MaxDevices {
+			t.Fatalf("accepted %d devices", len(s.Devices))
+		}
+		for i := range s.Devices {
+			d := &s.Devices[i]
+			if !validProfileID(d.Profile) {
+				t.Fatalf("accepted profile id %q", d.Profile)
+			}
+			if d.Count > MaxCount {
+				t.Fatalf("accepted count %d", d.Count)
+			}
+			dil := d.dilation()
+			if math.IsNaN(dil) || math.IsInf(dil, 0) || dil < MinDilation || dil > MaxDilation {
+				t.Fatalf("accepted effective dilation %g", dil)
+			}
+			if w := d.Window; w != nil {
+				if w.Size == 0 || w.Base > math.MaxUint64-w.Size {
+					t.Fatalf("accepted window %+v", w)
+				}
+			}
+		}
+		switch s.Output {
+		case "", "bin", "csv", "stats":
+		default:
+			t.Fatalf("accepted output %q", s.Output)
+		}
+
+		// Round trip: an accepted spec must marshal and re-parse to an
+		// equally valid spec (the loadgen scenario mode depends on this).
+		enc, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		if _, err := Parse(enc); err != nil {
+			t.Fatalf("round-tripped spec rejected: %v\nspec: %s", err, enc)
+		}
+		// WithSeedOffset must preserve validity too.
+		if err := s.WithSeedOffset(12345).Validate(); err != nil {
+			t.Fatalf("seed offset invalidated spec: %v", err)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package scenario composes full-SoC contention scenarios out of stored
+// Mocktails profiles (the paper's §VI study, productised). A declarative
+// spec names N profiles by content address and gives each device an
+// address window, a time-dilation factor, a seed and an optional request
+// cap; the composer synthesizes every device, transforms its stream and
+// merges them into one totally-ordered trace — byte-identical for a
+// given spec regardless of parallelism — which can then be streamed out
+// or replayed through the crossbar + DRAM model for per-device
+// contention statistics.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Validation bounds. They reject degenerate and attacker-sized specs at
+// the parse boundary, long before any profile is opened.
+const (
+	// MaxDevices bounds the number of devices in one scenario.
+	MaxDevices = 64
+	// MaxCount bounds a device's request cap; a scenario request is not
+	// allowed to promise more output than this per device.
+	MaxCount = 1 << 40
+	// MinDilation and MaxDilation bound the time-dilation factor.
+	MinDilation = 1.0 / (1 << 20)
+	// MaxDilation is the largest accepted dilation factor.
+	MaxDilation = 1 << 20
+)
+
+// Window remaps a device's addresses into [Base, Base+Size): the
+// synthesized address is folded in modulo Size. A nil Window in a Device
+// means identity — addresses pass through untouched.
+type Window struct {
+	// Base is the first byte of the device's address window.
+	Base uint64 `json:"base"`
+	// Size is the window length in bytes; must be > 0.
+	Size uint64 `json:"size"`
+}
+
+// identity reports whether remapping through w is a no-op for every
+// address (only the nil window is treated as identity; an explicit
+// window always remaps).
+func (w *Window) identity() bool { return w == nil }
+
+// Remap folds addr into the window.
+func (w *Window) Remap(addr uint64) uint64 {
+	if w == nil {
+		return addr
+	}
+	return w.Base + addr%w.Size
+}
+
+// Device is one traffic source of a scenario: a stored profile plus the
+// per-device transforms applied to its synthesized stream.
+type Device struct {
+	// Profile is the content address (64 hex digits) of a stored profile.
+	Profile string `json:"profile"`
+	// Name labels the device in stats output; defaults to "dev<i>".
+	Name string `json:"name,omitempty"`
+	// Window, when non-nil, remaps the device's addresses. Non-nil
+	// windows of different devices must not overlap.
+	Window *Window `json:"window,omitempty"`
+	// Dilation stretches (>1) or compresses (<1) the device's
+	// inter-request times to model load. 0 or absent means 1 (identity).
+	Dilation float64 `json:"dilation,omitempty"`
+	// Seed seeds the device's synthesis.
+	Seed uint64 `json:"seed,omitempty"`
+	// Count caps the device's requests; 0 means the profile's full
+	// request count.
+	Count uint64 `json:"count,omitempty"`
+}
+
+// dilation returns the effective dilation factor (absent/0 → 1).
+func (d *Device) dilation() float64 {
+	if d.Dilation == 0 {
+		return 1
+	}
+	return d.Dilation
+}
+
+// Spec is a declarative scenario: the devices to mix, what to produce,
+// and (for stats output) the interconnect latency of the replay.
+type Spec struct {
+	// Devices are the traffic sources, in tie-break order: requests
+	// sharing a timestamp are emitted in ascending device index.
+	Devices []Device `json:"devices"`
+	// Output selects what a scenario request produces: "bin" (default)
+	// or "csv" stream the composed trace; "stats" replays it through the
+	// memory system and returns a contention report.
+	Output string `json:"output,omitempty"`
+	// XbarLatency is the base crossbar latency in cycles for "stats"
+	// output.
+	XbarLatency uint64 `json:"xbar_latency,omitempty"`
+}
+
+// Parse decodes and validates a scenario spec. Unknown fields and
+// trailing garbage are errors, so a typo'd knob cannot silently become a
+// default.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after spec")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec against the documented bounds.
+func (s *Spec) Validate() error {
+	if len(s.Devices) == 0 {
+		return fmt.Errorf("scenario: spec has no devices")
+	}
+	if len(s.Devices) > MaxDevices {
+		return fmt.Errorf("scenario: %d devices exceeds the limit of %d", len(s.Devices), MaxDevices)
+	}
+	switch s.Output {
+	case "", "bin", "csv", "stats":
+	default:
+		return fmt.Errorf("scenario: unknown output %q (want bin, csv or stats)", s.Output)
+	}
+	for i := range s.Devices {
+		d := &s.Devices[i]
+		if !validProfileID(d.Profile) {
+			return fmt.Errorf("scenario: device %d: profile %q is not a content address (64 hex digits)", i, d.Profile)
+		}
+		if len(d.Name) > 64 {
+			return fmt.Errorf("scenario: device %d: name longer than 64 bytes", i)
+		}
+		if dil := d.Dilation; dil != 0 {
+			if math.IsNaN(dil) || math.IsInf(dil, 0) {
+				return fmt.Errorf("scenario: device %d: dilation must be finite", i)
+			}
+			if dil < MinDilation || dil > MaxDilation {
+				return fmt.Errorf("scenario: device %d: dilation %g outside [%g, %d]", i, dil, MinDilation, MaxDilation)
+			}
+		}
+		if d.Count > MaxCount {
+			return fmt.Errorf("scenario: device %d: count %d exceeds the limit of %d", i, d.Count, MaxCount)
+		}
+		if w := d.Window; w != nil {
+			if w.Size == 0 {
+				return fmt.Errorf("scenario: device %d: window size must be > 0", i)
+			}
+			if w.Base > math.MaxUint64-w.Size {
+				return fmt.Errorf("scenario: device %d: window end overflows the address space", i)
+			}
+		}
+	}
+	return s.checkWindowOverlap()
+}
+
+// checkWindowOverlap rejects specs whose explicit windows intersect:
+// windows exist to place devices into disjoint regions, and a silent
+// overlap would corrupt the contention study it models.
+func (s *Spec) checkWindowOverlap() error {
+	type span struct {
+		lo, hi uint64 // [lo, hi)
+		dev    int
+	}
+	var spans []span
+	for i := range s.Devices {
+		if w := s.Devices[i].Window; !w.identity() {
+			spans = append(spans, span{lo: w.Base, hi: w.Base + w.Size, dev: i})
+		}
+	}
+	sort.Slice(spans, func(a, b int) bool { return spans[a].lo < spans[b].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			return fmt.Errorf("scenario: device %d window [%#x, %#x) overlaps device %d window [%#x, %#x)",
+				spans[i].dev, spans[i].lo, spans[i].hi,
+				spans[i-1].dev, spans[i-1].lo, spans[i-1].hi)
+		}
+	}
+	return nil
+}
+
+// validProfileID reports whether id is a lowercase-hex content address.
+func validProfileID(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// WithSeedOffset returns a deep copy of the spec with every device's
+// seed shifted by off. Load generators use it to derive a distinct but
+// deterministic spec per request from one base spec.
+func (s *Spec) WithSeedOffset(off uint64) *Spec {
+	c := *s
+	c.Devices = make([]Device, len(s.Devices))
+	copy(c.Devices, s.Devices)
+	for i := range c.Devices {
+		if w := c.Devices[i].Window; w != nil {
+			cw := *w
+			c.Devices[i].Window = &cw
+		}
+		c.Devices[i].Seed += off
+	}
+	return &c
+}
+
+// DeviceName returns the display name of device i (its Name, or
+// "dev<i>" when unset).
+func (s *Spec) DeviceName(i int) string {
+	if n := s.Devices[i].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("dev%d", i)
+}

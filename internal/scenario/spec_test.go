@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// hexID returns a syntactically valid content address built from one
+// hex digit.
+func hexID(c byte) string { return strings.Repeat(string(c), 64) }
+
+func validSpec() *Spec {
+	return &Spec{Devices: []Device{{Profile: hexID('a')}}}
+}
+
+func TestParseValidSpec(t *testing.T) {
+	data := []byte(`{
+		"devices": [
+			{"profile": "` + hexID('a') + `", "name": "gpu",
+			 "window": {"base": 4096, "size": 65536},
+			 "dilation": 2.0, "seed": 7, "count": 100},
+			{"profile": "` + hexID('b') + `",
+			 "window": {"base": 1048576, "size": 65536}}
+		],
+		"output": "stats",
+		"xbar_latency": 20
+	}`)
+	s, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Devices) != 2 || s.Output != "stats" || s.XbarLatency != 20 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.Devices[0].Window.Base != 4096 || s.Devices[0].Dilation != 2.0 {
+		t.Fatalf("device 0 parsed %+v", s.Devices[0])
+	}
+	if s.DeviceName(0) != "gpu" || s.DeviceName(1) != "dev1" {
+		t.Fatalf("names %q %q", s.DeviceName(0), s.DeviceName(1))
+	}
+}
+
+func TestParseRejectsUnknownFieldsAndTrailingData(t *testing.T) {
+	if _, err := Parse([]byte(`{"devices": [{"profile": "` + hexID('a') + `"}], "bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Parse([]byte(`{"devices": [{"profile": "` + hexID('a') + `"}]} trailing`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func TestValidateTable(t *testing.T) {
+	win := func(base, size uint64) *Window { return &Window{Base: base, Size: size} }
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		ok   bool
+	}{
+		{"valid", func(s *Spec) {}, true},
+		{"no devices", func(s *Spec) { s.Devices = nil }, false},
+		{"too many devices", func(s *Spec) {
+			s.Devices = make([]Device, MaxDevices+1)
+			for i := range s.Devices {
+				s.Devices[i].Profile = hexID('a')
+			}
+		}, false},
+		{"max devices ok", func(s *Spec) {
+			s.Devices = make([]Device, MaxDevices)
+			for i := range s.Devices {
+				s.Devices[i].Profile = hexID('a')
+			}
+		}, true},
+		{"bad output", func(s *Spec) { s.Output = "xml" }, false},
+		{"short id", func(s *Spec) { s.Devices[0].Profile = "abc" }, false},
+		{"uppercase id", func(s *Spec) { s.Devices[0].Profile = strings.Repeat("A", 64) }, false},
+		{"non-hex id", func(s *Spec) { s.Devices[0].Profile = strings.Repeat("g", 64) }, false},
+		{"nan dilation", func(s *Spec) { s.Devices[0].Dilation = math.NaN() }, false},
+		{"inf dilation", func(s *Spec) { s.Devices[0].Dilation = math.Inf(1) }, false},
+		{"tiny dilation", func(s *Spec) { s.Devices[0].Dilation = MinDilation / 2 }, false},
+		{"huge dilation", func(s *Spec) { s.Devices[0].Dilation = MaxDilation * 2 }, false},
+		{"zero dilation means identity", func(s *Spec) { s.Devices[0].Dilation = 0 }, true},
+		{"boundary dilations", func(s *Spec) { s.Devices[0].Dilation = MinDilation }, true},
+		{"negative dilation", func(s *Spec) { s.Devices[0].Dilation = -1 }, false},
+		{"oversized count", func(s *Spec) { s.Devices[0].Count = MaxCount + 1 }, false},
+		{"max count ok", func(s *Spec) { s.Devices[0].Count = MaxCount }, true},
+		{"zero window size", func(s *Spec) { s.Devices[0].Window = win(0, 0) }, false},
+		{"window overflow", func(s *Spec) { s.Devices[0].Window = win(math.MaxUint64-10, 11) }, false},
+		{"window to the edge", func(s *Spec) { s.Devices[0].Window = win(math.MaxUint64-10, 10) }, true},
+		{"long name", func(s *Spec) { s.Devices[0].Name = strings.Repeat("x", 65) }, false},
+		{"overlapping windows", func(s *Spec) {
+			s.Devices = []Device{
+				{Profile: hexID('a'), Window: win(0, 100)},
+				{Profile: hexID('b'), Window: win(99, 100)},
+			}
+		}, false},
+		{"adjacent windows ok", func(s *Spec) {
+			s.Devices = []Device{
+				{Profile: hexID('a'), Window: win(0, 100)},
+				{Profile: hexID('b'), Window: win(100, 100)},
+			}
+		}, true},
+		{"identity windows never overlap", func(s *Spec) {
+			s.Devices = []Device{
+				{Profile: hexID('a')},
+				{Profile: hexID('b')},
+			}
+		}, true},
+	}
+	for _, tc := range cases {
+		s := validSpec()
+		tc.mut(s)
+		err := s.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid spec accepted", tc.name)
+		}
+	}
+}
+
+func TestWindowRemap(t *testing.T) {
+	var nilW *Window
+	if got := nilW.Remap(12345); got != 12345 {
+		t.Errorf("nil window remapped %d", got)
+	}
+	w := &Window{Base: 1000, Size: 100}
+	for _, addr := range []uint64{0, 50, 100, 12345, math.MaxUint64} {
+		got := w.Remap(addr)
+		if got < 1000 || got >= 1100 {
+			t.Errorf("Remap(%d) = %d outside [1000, 1100)", addr, got)
+		}
+		if got != 1000+addr%100 {
+			t.Errorf("Remap(%d) = %d, want %d", addr, got, 1000+addr%100)
+		}
+	}
+}
+
+func TestWithSeedOffsetDeepCopy(t *testing.T) {
+	s := &Spec{Devices: []Device{
+		{Profile: hexID('a'), Seed: 5, Window: &Window{Base: 0, Size: 10}},
+		{Profile: hexID('b'), Seed: 9},
+	}}
+	c := s.WithSeedOffset(100)
+	if c.Devices[0].Seed != 105 || c.Devices[1].Seed != 109 {
+		t.Fatalf("seeds %d %d", c.Devices[0].Seed, c.Devices[1].Seed)
+	}
+	if s.Devices[0].Seed != 5 {
+		t.Fatal("offset mutated the original spec")
+	}
+	c.Devices[0].Window.Base = 999
+	if s.Devices[0].Window.Base != 0 {
+		t.Fatal("windows are shared between copies")
+	}
+}

@@ -178,6 +178,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/profiles", s.endpoint("upload", s.fits, s.handleUpload))
 	s.mux.HandleFunc("GET /v1/profiles/{id}", s.endpoint("get", nil, s.handleGet))
 	s.mux.HandleFunc("POST /v1/profiles/{id}/synth", s.endpoint("synth", s.streams, s.handleSynth))
+	s.mux.HandleFunc("POST /v1/scenarios/synth", s.endpoint("scenario", s.streams, s.handleScenario))
 	s.mux.HandleFunc("GET /v1/cluster/healthz", s.endpoint("cluster_health", nil, s.handleClusterHealth))
 	s.mux.HandleFunc("POST /v1/cluster/replicate", s.endpoint("replicate", nil, s.handleReplicate))
 	if cfg.Debug {

@@ -156,9 +156,19 @@ func NewMerger(gens []Gen) *Merger {
 
 // Next returns the globally next request.
 func (m *Merger) Next() (trace.Request, bool) {
+	req, _, ok := m.NextIndexed()
+	return req, ok
+}
+
+// NextIndexed returns the globally next request together with the index
+// of the generator that produced it — the generator's position among
+// the non-nil entries passed to NewMerger, in order. Scenario
+// composition uses it to attribute each merged request back to its
+// device without wrapping every generator.
+func (m *Merger) NextIndexed() (trace.Request, int, bool) {
 	w := m.lt.winner
 	if w < 0 || m.lt.done[w] {
-		return trace.Request{}, false
+		return trace.Request{}, -1, false
 	}
 	g := m.gens[w]
 	req := g.Pending()
@@ -169,7 +179,7 @@ func (m *Merger) Next() (trace.Request, bool) {
 		m.lt.eliminate(w)
 	}
 	m.lt.replay(w)
-	return req, true
+	return req, w, true
 }
 
 // Delay adds backpressure delay to all not-yet-emitted requests.

@@ -6,14 +6,20 @@ import "container/heap"
 // timestamp order. Backpressure delay is propagated to every underlying
 // source. It is the building block for SoC-style simulations where
 // multiple (possibly synthetic) IP blocks inject into one memory system.
+//
+// Ties are deterministic: requests that share a timestamp are emitted in
+// ascending source index — the position of the source in the variadic
+// argument list, counting nil and already-exhausted sources. The order of
+// a merged stream is therefore a pure function of the sources' contents
+// and their positions, stable across refactors of the merge internals.
 func Merge(sources ...Source) Source {
 	m := &mergeSource{}
-	for _, s := range sources {
+	for i, s := range sources {
 		if s == nil {
 			continue
 		}
 		if req, ok := s.Next(); ok {
-			m.h = append(m.h, mergeItem{req: req, src: s, order: len(m.h)})
+			m.h = append(m.h, mergeItem{req: req, src: s, order: i})
 		}
 	}
 	heap.Init(&m.h)
@@ -48,8 +54,10 @@ func (m *mergeSource) Next() (Request, bool) {
 func (m *mergeSource) Delay(cycles uint64) { m.shift += cycles }
 
 type mergeItem struct {
-	req   Request
-	src   Source
+	req Request
+	src Source
+	// order is the source's position in the Merge argument list, the
+	// documented tie-break for requests sharing a timestamp.
 	order int
 }
 
